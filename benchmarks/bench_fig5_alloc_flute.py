@@ -1,0 +1,70 @@
+"""E4 — Figure 5: allocator benchmark overheads on Flute.
+
+The paper's figure plots, for each configuration, total benchmark
+cycles normalized to the Baseline configuration across allocation sizes
+32 B .. 128 KiB.  Expected shape:
+
+* software-revocation overhead grows with allocation size (fewer
+  cross-compartment calls amortize a fixed sweep bill) and dominates at
+  128 KiB;
+* the hardware revoker stays far cheaper; Hardware (S) beats the
+  baseline for sizes up to ~512 B;
+* the Flute hardware revoker degrades at the largest sizes because the
+  prototype lacks a completion interrupt and the RTOS's polling steals
+  its bus slots.
+"""
+
+import pytest
+
+from repro.analysis.reporting import format_series
+from repro.pipeline import CoreKind
+from repro.workloads.alloc_bench import overhead_series, table4
+from conftest import emit
+
+SIZES = tuple(32 << i for i in range(13))  # 32 B .. 128 KiB
+
+
+def _total_for(size: int) -> int:
+    return (1 << 20) if size >= 2048 else (1 << 18)
+
+
+def run_figure():
+    results = []
+    for size in SIZES:
+        results.extend(
+            table4(CoreKind.FLUTE, sizes=(size,), total_bytes=_total_for(size))
+        )
+    return results
+
+
+def test_figure5(benchmark):
+    results = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    series = overhead_series(results)
+    emit(
+        "Figure 5: allocator benchmark results on Flute "
+        "(overhead vs Baseline)",
+        format_series(series, "cycles / baseline cycles per size"),
+    )
+
+    software = dict(series["Software"])
+    hardware = dict(series["Hardware"])
+    hardware_s = dict(series["Hardware (S)"])
+
+    # Software overhead rises with size and dominates at the top end.
+    assert software[128 * 1024] > software[32]
+    assert software[128 * 1024] > 20
+
+    # Hardware revoker is always cheaper than software.
+    for size in SIZES:
+        assert hardware[size] < software[size]
+
+    # Hardware + HWM beats the baseline for small allocations
+    # ("up to 512B on Flute — the vast majority of allocations").
+    for size in (32, 64, 128, 256):
+        assert hardware_s[size] < 1.0, f"Hardware (S) should win at {size}B"
+    assert hardware_s[512] < 1.02  # the paper's crossover point
+    assert hardware_s[2048] > 1.0  # and it has crossed by 2 KiB
+
+    # The Flute polling tail: hardware overhead grows at the largest
+    # sizes relative to the mid-range.
+    assert hardware[128 * 1024] > hardware[4096]

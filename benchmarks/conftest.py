@@ -1,0 +1,15 @@
+"""Shared benchmark configuration.
+
+Every benchmark prints the reproduced table/figure (visible with
+``pytest benchmarks/ --benchmark-only -s`` and in the captured output)
+and asserts the paper's *shape* — orderings, crossovers, rough factors —
+rather than absolute numbers.
+"""
+
+import pytest
+
+
+def emit(title: str, body: str) -> None:
+    """Print a reproduced artifact with a recognisable banner."""
+    banner = "=" * 72
+    print(f"\n{banner}\n{title}\n{banner}\n{body}\n")

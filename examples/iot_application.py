@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""The paper's end-to-end IoT application (section 7.2.3), briefly.
+
+Connects the simulated device to the "cloud", fetches LED-animation
+JavaScript bytecode over TLS+MQTT through compartment boundaries, runs
+it every 10 ms on a 20 MHz CHERIoT-Ibex, and reports CPU load.
+
+Run with (a full 60 s simulation takes a few wall-clock seconds)::
+
+    python examples/iot_application.py [duration_seconds]
+"""
+
+import sys
+
+from repro.allocator import TemporalSafetyMode
+from repro.iot.app import IoTApplication
+from repro.pipeline import CoreKind
+
+
+def main() -> None:
+    duration_s = int(sys.argv[1]) if len(sys.argv) > 1 else 15
+    app = IoTApplication(core=CoreKind.IBEX, mode=TemporalSafetyMode.HARDWARE)
+    print(f"simulating {duration_s}s of device time at 20 MHz "
+          f"(TLS handshake + MQTT bytecode delivery + 10ms JS ticks)...")
+    report = app.run(duration_ms=duration_s * 1000)
+
+    leds = "".join("*" if on else "." for on in report.led_final)
+    print(f"""
+device report
+  CPU load             {report.cpu_load * 100:6.1f}%   (paper: 17.5% over 60s)
+  idle thread          {report.idle_fraction * 100:6.1f}%   (paper: 82.5%)
+  packets received     {report.packets_received:6d}     (each a fresh heap allocation)
+  JS ticks             {report.js_ticks:6d}
+  JS objects allocated {report.js_objects_allocated:6d}     (freed at GC, never reused early)
+  GC passes            {report.gc_passes:6d}
+  revocation passes    {report.revocation_passes:6d}
+  LEDs                 [{leds}]
+""")
+    if duration_s < 60:
+        print(f"note: the TLS handshake alone costs ~4s of 20 MHz CPU; over "
+              f"{duration_s}s it dominates. Run with 60 to match the paper's window.")
+    print("every packet buffer and JS object above was temporally safe: "
+          "freed memory is quarantined, swept by the background revoker, "
+          "and unreachable the moment free() returns.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""CHERIoT: Complete Memory Safety for Embedded Devices — reproduction.
+
+An ISA-level Python reproduction of the MICRO 2023 CHERIoT platform:
+the capability architecture (permission compression, E/B/T bounds,
+sentries), the temporal-safety hardware assists (load filter, background
+revoker), two core timing models (Flute, Ibex), the co-designed RTOS
+(compartments, switcher, scheduler, stack high-water mark) and the heap
+allocator with epoch quarantine — plus the benchmark harness that
+regenerates every table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import System, CoreKind
+    system = System.build(core=CoreKind.IBEX)
+    cap = system.allocator.malloc(64)
+    system.allocator.free(cap)
+
+See ``examples/quickstart.py`` and DESIGN.md for the full tour.
+"""
+
+__version__ = "1.0.0"
+
+from .capability import Capability, Permission, make_roots
+
+__all__ = [
+    "Capability",
+    "Permission",
+    "__version__",
+    "make_roots",
+]
+
+
+def __getattr__(name):
+    # Lazy imports: the machine module pulls in the whole stack, which is
+    # circular to import eagerly from substrate modules.
+    if name in ("System", "CoreKind"):
+        from . import machine
+
+        return getattr(machine, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,44 @@
+"""The heap-allocator compartment: dlmalloc + quarantine + capabilities."""
+
+from .dlmalloc import (
+    ALIGNMENT,
+    HEADER_SIZE,
+    MIN_CHUNK_SIZE,
+    SMALL_BIN_MAX,
+    AllocatorOps,
+    Chunk,
+    DlMalloc,
+    HeapCorruption,
+    HeapExhausted,
+)
+from .heap import (
+    CheriHeap,
+    DoubleFree,
+    HeapError,
+    HeapStats,
+    InvalidFree,
+    OutOfMemory,
+    TemporalSafetyMode,
+)
+from .quarantine import MAX_LISTS, Quarantine
+
+__all__ = [
+    "ALIGNMENT",
+    "AllocatorOps",
+    "CheriHeap",
+    "Chunk",
+    "DlMalloc",
+    "DoubleFree",
+    "HEADER_SIZE",
+    "HeapCorruption",
+    "HeapError",
+    "HeapExhausted",
+    "HeapStats",
+    "InvalidFree",
+    "MAX_LISTS",
+    "MIN_CHUNK_SIZE",
+    "OutOfMemory",
+    "Quarantine",
+    "SMALL_BIN_MAX",
+    "TemporalSafetyMode",
+]

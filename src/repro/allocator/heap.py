@@ -1,0 +1,497 @@
+"""The heap-allocator compartment: spatial + temporal safety (section 5.1).
+
+:class:`CheriHeap` composes the dlmalloc chunk layer with the temporal-
+safety machinery and hands out *capabilities*, not addresses:
+
+* **Spatial safety** — ``malloc`` sets exact bounds on the returned
+  capability, excluding the header; allocations too large for a precise
+  E/B/T encoding are padded and aligned so the bounds are exact (the
+  ~0.19 % fragmentation cost of section 3.2.3).
+* **Temporal safety** — ``free`` paints the revocation bits, zeroes the
+  memory, and quarantines the chunk under the current epoch; memory is
+  reused only after a complete revocation sweep, so allocations can
+  never temporally alias.  UAF loads are blocked immediately by the
+  load filter — as soon as ``free()`` returns.
+
+Four operating modes reproduce the paper's benchmark configurations
+(section 7.2.2): ``BASELINE`` (spatial only), ``METADATA`` (bits painted
+but no sweeps), ``SOFTWARE`` and ``HARDWARE`` (full temporal safety with
+the respective revoker).
+
+Cycle accounting: when a core model is attached, every operation charges
+mechanistic costs — instruction counts for the allocator fast path,
+load/store costs for metadata touches, bulk zeroing/painting loops, and
+sweep costs via the revokers.  A pluggable ``wait_policy`` maps hardware
+revoker wall-cycles to CPU cycles so the RTOS can model blocked threads,
+completion polling (Flute lacks the completion interrupt) and the extra
+context-switch state of the stack high-water mark.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.allocator.dlmalloc import (
+    ALIGNMENT,
+    HEADER_SIZE,
+    Chunk,
+    DlMalloc,
+    HeapExhausted,
+)
+from repro.allocator.quarantine import Quarantine
+from repro.capability import Capability, Permission
+from repro.capability.bounds import (
+    representable_alignment_mask,
+    representable_length,
+)
+from repro.memory.bus import SystemBus
+from repro.memory.layout import Region
+from repro.memory.revocation_map import GRANULE_BYTES, RevocationMap
+from repro.pipeline.model import CoreModel
+from repro.revoker.epoch import EpochCounter
+from repro.revoker.hardware import REG_END, REG_KICK, REG_START, BackgroundRevoker
+from repro.revoker.software import SoftwareRevoker
+
+
+class TemporalSafetyMode(enum.Enum):
+    """The four allocator configurations of the paper's section 7.2.2."""
+
+    BASELINE = "baseline"
+    METADATA = "metadata"
+    SOFTWARE = "software"
+    HARDWARE = "hardware"
+
+
+class HeapError(Exception):
+    """Base class for allocator API misuse."""
+
+
+class OutOfMemory(HeapError):
+    """No memory available even after revocation."""
+
+
+class InvalidFree(HeapError):
+    """Free of a pointer that does not name a live allocation's base."""
+
+
+class DoubleFree(HeapError):
+    """Second free of the same allocation."""
+
+
+@dataclass
+class HeapStats:
+    """Counters for tests and the benchmark harness."""
+
+    mallocs: int = 0
+    frees: int = 0
+    revocation_passes: int = 0
+    bytes_allocated: int = 0
+    bytes_freed: int = 0
+    fragmentation_padding: int = 0
+
+
+#: Instruction counts for the allocator fast paths, charged through the
+#: core model.  Derived from the shape of the CHERIoT RTOS allocator's
+#: entry paths (argument validation, lock, bin selection, unlock,
+#: capability derivation) rather than measured from its binary.
+MALLOC_BASE_INSTRS = 45
+FREE_BASE_INSTRS = 40
+#: Deriving the returned capability: csetaddr + csetbounds + candperm.
+CAP_DERIVE_INSTRS = 3
+
+
+def _round_up(value: int, align: int) -> int:
+    return (value + align - 1) & ~(align - 1)
+
+
+class CheriHeap:
+    """The allocator compartment over one revocable heap region."""
+
+    #: Default revocation trigger: sweep once quarantine accumulates
+    #: half of the heap ("when enough freed memory has accumulated in
+    #: quarantine" — section 5.1).  Sweeping less often amortizes the
+    #: fixed whole-heap scan over more freed bytes, which is what lets
+    #: the software revoker undercut the no-HWM baseline at small
+    #: allocation sizes on Ibex (section 7.2.2).
+    DEFAULT_QUARANTINE_FRACTION = 0.5
+
+    def __init__(
+        self,
+        bus: SystemBus,
+        region: Region,
+        revocation_map: RevocationMap,
+        memory_root: Capability,
+        mode: TemporalSafetyMode = TemporalSafetyMode.HARDWARE,
+        software_revoker: Optional[SoftwareRevoker] = None,
+        hardware_revoker: Optional[BackgroundRevoker] = None,
+        epoch: Optional[EpochCounter] = None,
+        core_model: Optional[CoreModel] = None,
+        quarantine_threshold: Optional[int] = None,
+        wait_policy: Optional[Callable[[int], int]] = None,
+        hardware_revoker_mmio_base: Optional[int] = None,
+    ) -> None:
+        self.bus = bus
+        self.region = region
+        self.revocation_map = revocation_map
+        self.memory_root = memory_root
+        self.mode = mode
+        self.software_revoker = software_revoker
+        self.hardware_revoker = hardware_revoker
+        self.core_model = core_model
+        self.wait_policy = wait_policy
+        self._hw_mmio_base = hardware_revoker_mmio_base
+        if mode is TemporalSafetyMode.SOFTWARE and software_revoker is None:
+            raise ValueError("SOFTWARE mode requires a software revoker")
+        if mode is TemporalSafetyMode.HARDWARE and hardware_revoker is None:
+            raise ValueError("HARDWARE mode requires a hardware revoker")
+        if epoch is not None:
+            self.epoch = epoch
+        elif software_revoker is not None:
+            self.epoch = software_revoker.epoch
+        elif hardware_revoker is not None:
+            self.epoch = hardware_revoker.epoch
+        else:
+            self.epoch = EpochCounter()
+        self.dl = DlMalloc(
+            region.base,
+            region.size,
+            chunk_granularity=revocation_map.granule_bytes,
+        )
+        self.quarantine = Quarantine()
+        self.quarantine_threshold = (
+            quarantine_threshold
+            if quarantine_threshold is not None
+            else int(region.size * self.DEFAULT_QUARANTINE_FRACTION)
+        )
+        self.stats = HeapStats()
+        # Live allocations: capability base -> (chunk, padded payload base).
+        self._live: Dict[int, Chunk] = {}
+        # Cycle at which the most recent *background* hardware pass
+        # completes.  Functionally the pass's tag-clearing is applied
+        # when it is kicked (conservative: stale tags die no later than
+        # hardware would kill them), but its results become reapable
+        # only once this wall-clock deadline passes — so an exhausted
+        # malloc genuinely waits for the engine (section 3.3.3).
+        self._pass_completion_cycle = 0
+
+    # ------------------------------------------------------------------
+    # Cost charging helpers
+    # ------------------------------------------------------------------
+
+    def _charge(self, cycles: int) -> None:
+        if self.core_model is not None:
+            self.core_model.charge(cycles)
+
+    def _charge_allocator_work(self, base_instrs: int) -> None:
+        """Charge the fast-path instructions plus metadata touches."""
+        if self.core_model is None:
+            return
+        ops = self.dl.ops
+        p = self.core_model.params
+        cycles = (
+            base_instrs
+            + ops.header_reads * p.load_cycles
+            + ops.header_writes * p.store_cycles
+            + ops.list_ops * 2
+        )
+        ops.reset()
+        self.core_model.charge(cycles)
+
+    def _paint_cycles(self, nbytes: int) -> int:
+        """Cost of painting/clearing revocation bits over ``nbytes``.
+
+        One 32-bit MMIO store covers 32 granules (256 bytes of heap),
+        plus two loop instructions per store.
+        """
+        if self.core_model is None:
+            return 0
+        words = max(1, (nbytes // GRANULE_BYTES + 31) // 32)
+        return words * (self.core_model.params.store_cycles + 2)
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+
+    def _padded_request(self, size: int) -> "tuple[int, int]":
+        """Payload size and alignment for an exactly-representable cap.
+
+        Returns ``(rounded_size, alignment)``: lengths above 511 bytes
+        need ``2**e``-aligned bounds, so both the length and the payload
+        base are rounded to the encoding granule (section 3.2.3).
+        """
+        rounded = representable_length(size)
+        mask = representable_alignment_mask(size)
+        align = ((~mask) & 0xFFFFFFFF) + 1
+        return rounded, max(align, ALIGNMENT)
+
+    def malloc(self, size: int) -> Capability:
+        """Allocate ``size`` bytes; returns a bounded, owned capability.
+
+        The capability's bounds cover exactly the (representability-
+        rounded) allocation; the header is excluded.  Raises
+        :class:`OutOfMemory` when the heap cannot satisfy the request
+        even after revocation reaps quarantine.
+        """
+        if size <= 0:
+            raise ValueError("allocation size must be positive")
+        self._maybe_complete_pass()
+        rounded, align = self._padded_request(size)
+        # Over-allocate so an aligned payload base fits inside the chunk.
+        slack = align - ALIGNMENT if align > ALIGNMENT else 0
+        chunk = self._allocate_with_revocation(rounded + slack)
+        payload = _round_up(chunk.payload_address, align)
+        assert payload + rounded <= chunk.end, "alignment slack miscomputed"
+        self.stats.fragmentation_padding += chunk.payload_size - size
+
+        if self.mode is not TemporalSafetyMode.BASELINE:
+            # Reused memory must present clear revocation bits.
+            self.revocation_map.clear(chunk.address, chunk.size)
+
+        cap = (
+            self.memory_root.set_address(payload)
+            .set_bounds(rounded, exact=True)
+            .and_perms(
+                {
+                    Permission.GL,
+                    Permission.LD,
+                    Permission.SD,
+                    Permission.MC,
+                    Permission.LM,
+                    Permission.LG,
+                }
+            )
+        )
+        self._live[payload] = chunk
+        self.stats.mallocs += 1
+        self.stats.bytes_allocated += rounded
+        self._charge_allocator_work(MALLOC_BASE_INSTRS + CAP_DERIVE_INSTRS)
+        if self.mode is not TemporalSafetyMode.BASELINE:
+            self._charge(self._paint_cycles(chunk.size))
+        return cap
+
+    def _now(self) -> int:
+        return self.core_model.cycles if self.core_model is not None else 0
+
+    def _maybe_complete_pass(self) -> None:
+        """Collect the results of a finished background pass."""
+        if (
+            self._pass_completion_cycle
+            and self._now() >= self._pass_completion_cycle
+        ):
+            self._pass_completion_cycle = 0
+            self._reap()
+
+    def _allocate_with_revocation(self, size: int) -> Chunk:
+        try:
+            return self.dl.allocate(size)
+        except HeapExhausted:
+            pass
+        if self.mode is TemporalSafetyMode.HARDWARE:
+            # A background pass may already be sweeping: block until it
+            # completes (the paper's 128 KiB case — "spends most of its
+            # time waiting for the revoker"), then reap and retry.
+            remaining = self._pass_completion_cycle - self._now()
+            if remaining > 0:
+                charged = (
+                    self.wait_policy(remaining)
+                    if self.wait_policy is not None
+                    else remaining
+                )
+                self._charge(charged)
+                self._pass_completion_cycle = 0
+                self._reap()
+                try:
+                    return self.dl.allocate(size)
+                except HeapExhausted:
+                    pass
+        if self.mode in (TemporalSafetyMode.SOFTWARE, TemporalSafetyMode.HARDWARE):
+            # Low on memory: force revocation passes until quarantine
+            # yields the memory back or nothing is left to reap.
+            for _ in range(2):
+                self.revoke_now()
+                try:
+                    return self.dl.allocate(size)
+                except HeapExhausted:
+                    continue
+        raise OutOfMemory(f"cannot allocate {size} bytes (heap {self.region.size})")
+
+    def calloc(self, count: int, size: int) -> Capability:
+        """Allocate ``count * size`` zeroed bytes.
+
+        Fresh memory from this allocator is already zero (free() zeroes
+        and the region starts zeroed), but calloc still writes the
+        zeros — C semantics do not depend on allocator internals — and
+        charges the loop.
+        """
+        if count <= 0 or size <= 0:
+            raise ValueError("calloc dimensions must be positive")
+        total = count * size
+        cap = self.malloc(total)
+        self.bus.fill(cap.base, cap.length, 0)
+        if self.core_model is not None:
+            self._charge(self.core_model.zero_bytes_cycles(cap.length))
+        return cap
+
+    def realloc(self, cap: Capability, new_size: int) -> Capability:
+        """Resize an allocation, preserving its contents.
+
+        Always moves (allocate + copy + free): in-place growth would
+        require *widening* the old capability's bounds, which
+        monotonicity forbids — every resize hands out a fresh
+        capability and revokes the old one, so stale pre-realloc
+        pointers die like any other UAF.
+        """
+        if new_size <= 0:
+            raise ValueError("realloc size must be positive")
+        if not cap.tag:
+            raise InvalidFree("realloc of untagged capability")
+        if cap.base not in self._live:
+            raise InvalidFree(f"realloc of unknown allocation {cap.base:#x}")
+        fresh = self.malloc(new_size)
+        copy_len = min(cap.length, fresh.length)
+        self.bus.write_bytes(fresh.base, self.bus.read_bytes(cap.base, copy_len))
+        if self.core_model is not None:
+            # Capability-width copy loop: load + store per 8 bytes.
+            words = (copy_len + 7) // 8
+            p = self.core_model.params
+            beats = p.cap_access_beats
+            self._charge(words * (p.load_cycles + p.store_cycles + 2 * (beats - 1)))
+        self.free(cap)
+        return fresh
+
+    # ------------------------------------------------------------------
+    # Free
+    # ------------------------------------------------------------------
+
+    def free(self, cap: Capability) -> None:
+        """Free an allocation; quarantines until provably unreferenced.
+
+        Raises :class:`InvalidFree` for untagged capabilities or
+        pointers that are not the base of a live allocation (including
+        interior pointers — detected via the revocation bitmap in
+        non-baseline modes, and by the allocator's own metadata here),
+        and :class:`DoubleFree` for repeated frees.
+        """
+        self._maybe_complete_pass()
+        if not cap.tag:
+            raise InvalidFree("free of untagged capability")
+        chunk = self._live.get(cap.base)
+        if chunk is None:
+            if self.revocation_map.is_revoked(cap.base):
+                raise DoubleFree(f"free of already-freed memory at {cap.base:#x}")
+            if any(c.address < cap.base < c.end for c in self._live.values()):
+                raise InvalidFree(f"free of interior pointer {cap.base:#x}")
+            raise InvalidFree(f"no live allocation at {cap.base:#x}")
+        del self._live[cap.base]
+        self.stats.frees += 1
+        self.stats.bytes_freed += chunk.payload_size
+        self._charge_allocator_work(FREE_BASE_INSTRS)
+
+        if self.mode is TemporalSafetyMode.BASELINE:
+            self.dl.release(chunk)
+            self._charge_allocator_work(0)
+            return
+
+        # Paint the revocation bits, then zero the freed memory.
+        self.revocation_map.paint(chunk.address, chunk.size)
+        self._charge(self._paint_cycles(chunk.size))
+        self.bus.fill(chunk.payload_address, chunk.payload_size, 0)
+        if self.core_model is not None:
+            self._charge(self.core_model.zero_bytes_cycles(chunk.payload_size))
+
+        if self.mode is TemporalSafetyMode.METADATA:
+            # Measurement mode: metadata costs without sweeping — the
+            # bits come straight back off and memory is reused.
+            self.revocation_map.clear(chunk.address, chunk.size)
+            self._charge(self._paint_cycles(chunk.size))
+            self.dl.release(chunk)
+            self._charge_allocator_work(0)
+            return
+
+        self.quarantine.add(chunk, self.epoch.value)
+        if self.quarantine.total_bytes >= self.quarantine_threshold:
+            # Enough freed memory has accumulated: start a pass.  With
+            # the background engine this does NOT block — the revoker
+            # advances in the load-store unit's idle slots while the
+            # allocator continues servicing requests (section 3.3.3);
+            # only allocation failure forces a blocking wait.
+            if self.mode is TemporalSafetyMode.HARDWARE:
+                if self._pass_completion_cycle == 0:
+                    self._run_hardware_pass(blocking=False)
+                    self.stats.revocation_passes += 1
+            else:
+                self.revoke_now()
+
+    # ------------------------------------------------------------------
+    # Revocation
+    # ------------------------------------------------------------------
+
+    def revoke_now(self) -> int:
+        """Run one revocation pass and reap safe quarantine lists.
+
+        Returns the number of chunks returned to the free lists.
+        """
+        if self.mode is TemporalSafetyMode.SOFTWARE:
+            assert self.software_revoker is not None
+            self.software_revoker.sweep(self.region.base, self.region.top)
+        elif self.mode is TemporalSafetyMode.HARDWARE:
+            assert self.hardware_revoker is not None
+            self._run_hardware_pass()
+        else:
+            return 0
+        self.stats.revocation_passes += 1
+        return self._reap()
+
+    #: CPU slowdown from bus arbitration while a background pass runs
+    #: concurrently with application code: the engine only takes idle
+    #: beats, so the app loses just the occasional arbitration cycle.
+    BACKGROUND_INTERFERENCE = 0.05
+
+    def _run_hardware_pass(self, blocking: bool = True) -> None:
+        hw = self.hardware_revoker
+        if self._hw_mmio_base is not None:
+            # Go through the MMIO window like the real allocator would.
+            self.bus.write_word(self._hw_mmio_base + REG_START, self.region.base)
+            self.bus.write_word(self._hw_mmio_base + REG_END, self.region.top)
+            self.bus.write_word(self._hw_mmio_base + REG_KICK, 1)
+        else:
+            hw.mmio_write(REG_START, self.region.base)
+            hw.mmio_write(REG_END, self.region.top)
+            hw.kick()
+        wall = hw.run_to_completion(cpu_blocked=blocking)
+        if blocking:
+            # Out of memory: the allocating thread waits for completion.
+            charged = self.wait_policy(wall) if self.wait_policy is not None else wall
+        else:
+            # Background pass: the CPU keeps running; it pays only the
+            # kick MMIO writes (already counted) and bus arbitration.
+            # The pass's *results* become reapable only after its wall
+            # time has elapsed.
+            charged = int(wall * self.BACKGROUND_INTERFERENCE)
+            self._pass_completion_cycle = self._now() + wall
+        self._charge(charged)
+
+    def _reap(self) -> int:
+        if self._now() < self._pass_completion_cycle:
+            return 0  # the background pass has not finished yet
+        ready = self.quarantine.reap(self.epoch.value)
+        for chunk in ready:
+            self.revocation_map.clear(chunk.address, chunk.size)
+            self._charge(self._paint_cycles(chunk.size))
+            self.dl.release(chunk)
+        self._charge_allocator_work(0)
+        return len(ready)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def live_allocations(self) -> int:
+        return len(self._live)
+
+    @property
+    def quarantined_bytes(self) -> int:
+        return self.quarantine.total_bytes

@@ -1,0 +1,37 @@
+"""Analysis helpers: encoding fragmentation and report formatting."""
+
+from .fragmentation import (
+    rule_of_thumb_fragmentation,
+    FragmentationPoint,
+    average_fragmentation,
+    check_cheriot_encoder,
+    fragmentation_sweep,
+    max_precise_length,
+    padded_length,
+)
+from .energy import (
+    EnergyEstimate,
+    estimate_energy,
+    security_battery_cost,
+)
+from .encoding_tables import enumerate_formats, format_figure1, format_figure2
+from .reporting import format_series, format_table, size_label
+
+__all__ = [
+    "FragmentationPoint",
+    "average_fragmentation",
+    "check_cheriot_encoder",
+    "EnergyEstimate",
+    "estimate_energy",
+    "security_battery_cost",
+    "enumerate_formats",
+    "format_figure1",
+    "format_figure2",
+    "format_series",
+    "format_table",
+    "fragmentation_sweep",
+    "max_precise_length",
+    "padded_length",
+    "rule_of_thumb_fragmentation",
+    "size_label",
+]

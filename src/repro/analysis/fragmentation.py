@@ -1,0 +1,113 @@
+"""Bounds-encoding precision and memory fragmentation (section 3.2.3).
+
+The paper's key encoding claim: with 9-bit T and B fields, objects up
+to 511 bytes are always exactly representable and the *average* internal
+fragmentation from bounds alignment is ``1/2**9 ~= 0.19 %`` — versus
+``1/2**3 = 12.5 %`` had the CHERI-Concentrate-for-64-bit layout (whose
+T/B can drop to 3 bits) been kept.  This module computes both from the
+encoding rule itself, for any mantissa width, so the claim can be
+checked rather than quoted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+from repro.capability.bounds import encode
+
+
+def _round_up(value: int, align: int) -> int:
+    return (value + align - 1) & ~(align - 1)
+
+
+def padded_length(length: int, mantissa_bits: int) -> int:
+    """Allocated bytes after encoding alignment, for any mantissa width.
+
+    The generic CHERIoT-style rule: choose the smallest exponent ``e``
+    with ``length <= (2**m - 1) << e``, then round the length up to a
+    multiple of ``2**e`` (the base must also be ``2**e``-aligned, which
+    costs the allocator padding counted here as well, amortized into
+    the same granule rounding).
+    """
+    if length <= 0:
+        raise ValueError("length must be positive")
+    mask = (1 << mantissa_bits) - 1
+    e = 0
+    while length > (mask << e):
+        e += 1
+    return _round_up(length, 1 << e)
+
+
+@dataclass(frozen=True)
+class FragmentationPoint:
+    length: int
+    allocated: int
+
+    @property
+    def padding(self) -> int:
+        return self.allocated - self.length
+
+    @property
+    def overhead(self) -> float:
+        return self.padding / self.length
+
+
+def fragmentation_sweep(
+    lengths: Iterable[int], mantissa_bits: int = 9
+) -> "list[FragmentationPoint]":
+    """Padding for each length under an ``mantissa_bits`` encoding."""
+    return [
+        FragmentationPoint(n, padded_length(n, mantissa_bits)) for n in lengths
+    ]
+
+
+def average_fragmentation(
+    mantissa_bits: int,
+    max_length: int = 1 << 20,
+    samples: int = 4096,
+    min_length: int = 1,
+) -> float:
+    """Mean relative padding over log-uniform lengths in a range.
+
+    With ``min_length=1`` the average includes the precisely-encodable
+    small sizes (zero padding); the paper's ``1/2**m`` rule of thumb
+    describes the regime of allocations *large enough to need
+    alignment*, i.e. ``min_length > 2**m - 1`` — ~0.19 % at 9 bits and
+    12.5 % at 3 bits.
+    """
+    import math
+
+    total = 0.0
+    count = 0
+    log_min = math.log(max(1, min_length))
+    log_max = math.log(max_length)
+    for index in range(1, samples + 1):
+        point = log_min + (log_max - log_min) * index / samples
+        length = max(1, int(math.exp(point)))
+        total += padded_length(length, mantissa_bits) / length - 1.0
+        count += 1
+    return total / count
+
+
+def rule_of_thumb_fragmentation(mantissa_bits: int) -> float:
+    """The paper's quoted average: ``1 / 2**mantissa_bits``."""
+    return 1.0 / (1 << mantissa_bits)
+
+
+def max_precise_length(mantissa_bits: int) -> int:
+    """Largest length always exactly representable (``2**m - 1``)."""
+    return (1 << mantissa_bits) - 1
+
+
+def check_cheriot_encoder(lengths: Iterable[int]) -> "list[Tuple[int, int]]":
+    """Cross-check :func:`padded_length` against the real encoder.
+
+    Returns ``(length, allocated)`` pairs measured by running the actual
+    E/B/T encoder of :mod:`repro.capability.bounds` at base 0.
+    """
+    out = []
+    for length in lengths:
+        _, base, top = encode(0, length)
+        out.append((length, top - base))
+    return out

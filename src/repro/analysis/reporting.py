@@ -1,0 +1,63 @@
+"""Plain-text rendering for the reproduced tables and figures.
+
+The benchmark harness is console-first (this is an embedded-systems
+artifact): tables print as aligned text and the figures print as ASCII
+series, one line per configuration, so ``pytest benchmarks/`` output is
+directly comparable with the paper's tables and figure shapes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], indent: str = ""
+) -> str:
+    """Align a list of rows under headers."""
+    rows = [tuple(str(cell) for cell in row) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def fmt(row: Sequence[str]) -> str:
+        return indent + "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+    lines = [fmt(headers), indent + "-" * (sum(widths) + 2 * (len(widths) - 1))]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def format_series(
+    series: "Dict[str, List[Tuple[int, float]]]",
+    title: str,
+    value_label: str = "overhead vs baseline",
+    width: int = 40,
+) -> str:
+    """Render {label: [(x, y), ...]} as aligned rows with spark bars.
+
+    The x axis is the allocation size; each configuration prints one row
+    per size with a proportional bar — enough to eyeball the crossovers
+    the paper's Figures 5 and 6 show.
+    """
+    lines = [title]
+    all_values = [y for points in series.values() for _, y in points]
+    if not all_values:
+        return title + " (no data)"
+    peak = max(all_values)
+    for label in series:
+        lines.append(f"  {label}:")
+        for x, y in series[label]:
+            bar = "#" * max(1, int(width * y / peak))
+            size = f"{x}B" if x < 1024 else f"{x // 1024}KiB"
+            lines.append(f"    {size:>8s} {y:7.3f}x {bar}")
+    lines.append(f"  ({value_label}; bar full scale = {peak:.2f}x)")
+    return "\n".join(lines)
+
+
+def size_label(nbytes: int) -> str:
+    """32 -> "32B", 131072 -> "128KiB"."""
+    if nbytes < 1024:
+        return f"{nbytes}B"
+    if nbytes < 1024 * 1024:
+        return f"{nbytes // 1024}KiB"
+    return f"{nbytes // (1024 * 1024)}MiB"

@@ -1,0 +1,101 @@
+"""CHERIoT capability model: permissions, bounds, sealing, manipulation.
+
+This package implements the architectural capability of the paper's
+section 3: the twelve permissions of Table 1, the 6-bit compressed
+permission formats of Figure 2, the E/B/T bounds encoding of Figure 3,
+the 3-bit partitioned otype space, and the guarded-manipulation rules
+that make capabilities unforgeable and monotone.
+"""
+
+from .bounds import (
+    ADDRESS_BITS,
+    MANTISSA_BITS,
+    MAX_PRECISE_LENGTH,
+    BoundsError,
+    EncodedBounds,
+    decode,
+    encode,
+    exponent_for_length,
+    is_representable,
+    representable_alignment_mask,
+    representable_length,
+)
+from .capability import CAP_SIZE_BYTES, Capability, attenuate_loaded
+from .compression import and_perms, classify, compress, decompress, normalize
+from .encoding import pack, pack_metadata, unpack
+from .errors import (
+    BoundsFault,
+    CapabilityError,
+    MonotonicityFault,
+    OTypeFault,
+    PermissionFault,
+    SealedFault,
+    TagFault,
+)
+from .otypes import (
+    FORWARD_SENTRY_OTYPES,
+    OTYPE_UNSEALED,
+    RETURN_SENTRY_OTYPES,
+    RTOS_DATA_OTYPES,
+    SentryType,
+    is_sentry,
+    return_sentry_for_posture,
+)
+from .permissions import (
+    ARCHITECTURAL_ORDER,
+    NO_PERMS,
+    Permission,
+    PermSet,
+    from_architectural_word,
+    perm_set,
+    to_architectural_word,
+)
+from .roots import RootSet, make_roots
+
+__all__ = [
+    "ADDRESS_BITS",
+    "ARCHITECTURAL_ORDER",
+    "BoundsError",
+    "BoundsFault",
+    "CAP_SIZE_BYTES",
+    "Capability",
+    "CapabilityError",
+    "EncodedBounds",
+    "FORWARD_SENTRY_OTYPES",
+    "MANTISSA_BITS",
+    "MAX_PRECISE_LENGTH",
+    "MonotonicityFault",
+    "NO_PERMS",
+    "OTYPE_UNSEALED",
+    "OTypeFault",
+    "PermSet",
+    "Permission",
+    "PermissionFault",
+    "RETURN_SENTRY_OTYPES",
+    "RTOS_DATA_OTYPES",
+    "RootSet",
+    "SealedFault",
+    "SentryType",
+    "TagFault",
+    "and_perms",
+    "attenuate_loaded",
+    "classify",
+    "compress",
+    "decode",
+    "decompress",
+    "encode",
+    "exponent_for_length",
+    "from_architectural_word",
+    "is_representable",
+    "representable_alignment_mask",
+    "representable_length",
+    "is_sentry",
+    "make_roots",
+    "normalize",
+    "pack",
+    "pack_metadata",
+    "perm_set",
+    "return_sentry_for_posture",
+    "to_architectural_word",
+    "unpack",
+]

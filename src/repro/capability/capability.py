@@ -1,0 +1,374 @@
+"""The CHERIoT capability value and its guarded manipulation.
+
+A :class:`Capability` is an immutable architectural value: a 32-bit
+address, compressed bounds (E/B/T), a representable permission set, a
+3-bit otype, the out-of-band validity tag, and the reserved bit (paper
+Figure 1).  Every mutator returns a *new* capability and respects the
+guarded-manipulation rules of section 2.4:
+
+* bounds may be narrowed, never widened nor displaced;
+* permissions may be shed, never regained;
+* the tag may be cleared, never set.
+
+Operations that would break monotonicity raise
+:class:`~repro.capability.errors.MonotonicityFault` (as ``csetbounds``
+does architecturally) or silently clear the tag where the architecture
+specifies invalidation (address moves outside the representable region).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from functools import cached_property
+from typing import Iterable, Optional, Tuple
+
+from . import bounds as bounds_mod
+from . import compression
+from . import otypes as otypes_mod
+from .bounds import BoundsError, EncodedBounds
+from .errors import (
+    BoundsFault,
+    MonotonicityFault,
+    OTypeFault,
+    PermissionFault,
+    SealedFault,
+    TagFault,
+)
+from .permissions import NO_PERMS, Permission, PermSet
+
+_ADDR_MASK = (1 << bounds_mod.ADDRESS_BITS) - 1
+
+#: Size in bytes of a capability in memory (32-bit address + metadata).
+CAP_SIZE_BYTES = 8
+
+
+@dataclass(frozen=True)
+class Capability:
+    """An architectural CHERIoT capability.
+
+    Instances are immutable; use the guarded-manipulation methods
+    (:meth:`set_address`, :meth:`set_bounds`, :meth:`and_perms`,
+    :meth:`seal`, ...) to derive new capabilities.
+    """
+
+    address: int
+    bounds: EncodedBounds
+    perms: PermSet = NO_PERMS
+    otype: int = otypes_mod.OTYPE_UNSEALED
+    tag: bool = False
+    reserved: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.address <= _ADDR_MASK:
+            raise ValueError(f"address out of range: {self.address:#x}")
+        if not otypes_mod.is_valid_otype(self.otype):
+            raise OTypeFault(f"otype out of range: {self.otype}")
+        if compression.normalize(self.perms) != frozenset(self.perms):
+            raise ValueError(f"permission set not representable: {self.perms}")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def null(address: int = 0) -> "Capability":
+        """The NULL capability: untagged, no permissions, zero bounds."""
+        return Capability(
+            address=address & _ADDR_MASK,
+            bounds=EncodedBounds(0, 0, 0),
+            perms=NO_PERMS,
+            tag=False,
+        )
+
+    @staticmethod
+    def from_bounds(
+        base: int,
+        length: int,
+        perms: Iterable[Permission],
+        address: Optional[int] = None,
+        exact: bool = False,
+        tag: bool = True,
+    ) -> "Capability":
+        """Forge a tagged capability over ``[base, base+length)``.
+
+        This is *not* an architectural operation — only the three reset
+        roots (:mod:`repro.capability.roots`) and tests should forge;
+        everything else must derive from a root.  Bounds follow the
+        ``csetbounds`` rounding rules of :func:`repro.capability.bounds.encode`.
+        """
+        normalized = compression.normalize(frozenset(perms))
+        encoded, actual_base, _ = bounds_mod.encode(base, length, exact=exact)
+        addr = base if address is None else address
+        cap = Capability(
+            address=addr & _ADDR_MASK,
+            bounds=encoded,
+            perms=normalized,
+            tag=tag,
+        )
+        if cap.tag and not bounds_mod.is_representable(
+            cap.address, encoded, actual_base, cap.top
+        ):
+            raise BoundsError(
+                f"address {addr:#x} not representable within [{base:#x}, +{length:#x})"
+            )
+        return cap
+
+    # ------------------------------------------------------------------
+    # Decoded views
+    # ------------------------------------------------------------------
+
+    @cached_property
+    def _decoded_bounds(self) -> Tuple[int, int]:
+        return bounds_mod.decode(self.address, self.bounds)
+
+    @property
+    def base(self) -> int:
+        """Decoded inclusive lower bound."""
+        return self._decoded_bounds[0]
+
+    @property
+    def top(self) -> int:
+        """Decoded exclusive upper bound (may be ``2**32``)."""
+        return self._decoded_bounds[1]
+
+    @property
+    def length(self) -> int:
+        """``top - base`` (zero when the encoding is degenerate)."""
+        return max(0, self.top - self.base)
+
+    @property
+    def is_sealed(self) -> bool:
+        """True when the otype is non-zero (includes sentries)."""
+        return self.otype != otypes_mod.OTYPE_UNSEALED
+
+    @property
+    def is_sentry(self) -> bool:
+        """True for sealed-entry capabilities (executable namespace)."""
+        return otypes_mod.is_sentry(self.otype, Permission.EX in self.perms)
+
+    @property
+    def is_global(self) -> bool:
+        """Global capabilities may be stored anywhere; locals need SL."""
+        return Permission.GL in self.perms
+
+    @property
+    def is_local(self) -> bool:
+        return not self.is_global
+
+    @property
+    def is_executable(self) -> bool:
+        return Permission.EX in self.perms
+
+    def has(self, *perms: Permission) -> bool:
+        """True when every listed permission is held."""
+        return all(p in self.perms for p in perms)
+
+    def in_bounds(self, address: Optional[int] = None, size: int = 1) -> bool:
+        """True when ``[address, address+size)`` lies within bounds."""
+        addr = self.address if address is None else address
+        return self.base <= addr and addr + size <= self.top
+
+    # ------------------------------------------------------------------
+    # Guarded manipulation (all monotone)
+    # ------------------------------------------------------------------
+
+    def untagged(self) -> "Capability":
+        """Copy with the validity tag cleared."""
+        if not self.tag:
+            return self
+        return replace(self, tag=False)
+
+    def set_address(self, address: int) -> "Capability":
+        """``csetaddr``: move the address, untagging on unrepresentability.
+
+        Changing the address of a *sealed* capability also clears the tag
+        (sealed capabilities are immutable).  An address move that would
+        change the decoded bounds clears the tag (section 3.2.3).
+        """
+        address &= _ADDR_MASK
+        new = replace(self, address=address)
+        if self.tag and (
+            self.is_sealed
+            or not bounds_mod.is_representable(address, self.bounds, self.base, self.top)
+        ):
+            new = replace(new, tag=False)
+        return new
+
+    def inc_address(self, delta: int) -> "Capability":
+        """``cincaddr``: pointer arithmetic with representability check."""
+        return self.set_address((self.address + delta) & _ADDR_MASK)
+
+    def set_bounds(self, length: int, exact: bool = False) -> "Capability":
+        """``csetbounds``: narrow bounds to ``[address, address+length)``.
+
+        Raises :class:`MonotonicityFault` when the (rounded) requested
+        region is not contained in the current bounds, and the usual
+        faults for untagged / sealed sources.
+        """
+        self._require_unsealed_tagged()
+        encoded, new_base, new_top = bounds_mod.encode(
+            self.address, length, exact=exact
+        )
+        if new_base < self.base or new_top > self.top:
+            raise MonotonicityFault(
+                f"setbounds [{new_base:#x}, {new_top:#x}) exceeds "
+                f"[{self.base:#x}, {self.top:#x})"
+            )
+        return replace(self, bounds=encoded)
+
+    def and_perms(self, mask: Iterable[Permission]) -> "Capability":
+        """``candperm``: intersect permissions (then re-normalize)."""
+        self._require_unsealed_tagged()
+        return replace(self, perms=compression.and_perms(self.perms, frozenset(mask)))
+
+    def clear_perms(self, *perms: Permission) -> "Capability":
+        """Convenience: shed the listed permissions."""
+        keep = frozenset(self.perms) - frozenset(perms)
+        return self.and_perms(keep)
+
+    def make_local(self) -> "Capability":
+        """Shed GL: the result may only be stored via SL authorities."""
+        return self.clear_perms(Permission.GL)
+
+    def readonly(self) -> "Capability":
+        """Shed write authority, deeply: clears SD, SL and LM.
+
+        Clearing LM makes the read-only view *transitive* — capabilities
+        loaded through it lose SD/LM too (section 3.1.1).
+        """
+        return self.clear_perms(Permission.SD, Permission.SL, Permission.LM)
+
+    def seal(self, authority: "Capability") -> "Capability":
+        """``cseal``: seal with the otype named by ``authority.address``.
+
+        ``authority`` must be tagged, unsealed, hold SE, and its address
+        must be an in-bounds otype valid for this capability's namespace
+        (executable or data, selected by EX — section 3.2.2).
+        """
+        self._require_unsealed_tagged()
+        _check_seal_authority(authority, Permission.SE)
+        otype = authority.address
+        _check_otype_for(self, otype)
+        return replace(self, otype=otype)
+
+    def seal_sentry(self, sentry_type: otypes_mod.SentryType) -> "Capability":
+        """Seal an executable capability as a sentry (section 3.1.2).
+
+        Creating sentries needs no sealing authority: the RTOS loader and
+        jump-and-link hardware mint them; they are the mechanism by which
+        interrupt posture is delegated.
+        """
+        self._require_unsealed_tagged()
+        if not self.is_executable:
+            raise PermissionFault("sentries must be executable")
+        return replace(self, otype=int(sentry_type))
+
+    def unseal(self, authority: "Capability") -> "Capability":
+        """``cunseal``: remove the seal using a US authority."""
+        if not self.tag:
+            raise TagFault("unseal of untagged capability")
+        if not self.is_sealed:
+            raise OTypeFault("capability is not sealed")
+        _check_seal_authority(authority, Permission.US)
+        if authority.address != self.otype:
+            raise OTypeFault(
+                f"unseal otype mismatch: authority names {authority.address}, "
+                f"capability sealed with {self.otype}"
+            )
+        return replace(self, otype=otypes_mod.OTYPE_UNSEALED)
+
+    def unseal_for_jump(self) -> "Capability":
+        """Automatic unsealing applied when a sentry is jumped to."""
+        if not self.is_sentry:
+            raise OTypeFault("not a sentry")
+        return replace(self, otype=otypes_mod.OTYPE_UNSEALED)
+
+    # ------------------------------------------------------------------
+    # Dereference checks (used by the memory system and ISA)
+    # ------------------------------------------------------------------
+
+    def check_access(
+        self, address: int, size: int, required: Iterable[Permission]
+    ) -> None:
+        """Authorize an access or raise the appropriate fault.
+
+        Checks, in hardware order: tag, seal, permissions, then bounds.
+        """
+        if not self.tag:
+            raise TagFault(f"access via untagged capability at {address:#x}")
+        if self.is_sealed:
+            raise SealedFault(f"access via sealed capability at {address:#x}")
+        for perm in required:
+            if perm not in self.perms:
+                raise PermissionFault(
+                    f"access at {address:#x} requires {perm}, held: "
+                    f"{sorted(p.name for p in self.perms)}"
+                )
+        if not self.in_bounds(address, size):
+            raise BoundsFault(
+                f"access [{address:#x}, +{size}) outside "
+                f"[{self.base:#x}, {self.top:#x})"
+            )
+
+    def _require_unsealed_tagged(self) -> None:
+        if not self.tag:
+            raise TagFault("operation on untagged capability")
+        if self.is_sealed:
+            raise SealedFault("operation on sealed capability")
+
+    # ------------------------------------------------------------------
+    # Display
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        perms = "".join(sorted(p.name for p in self.perms)) or "-"
+        seal = f" otype={self.otype}" if self.is_sealed else ""
+        tag = "v" if self.tag else "!"
+        return (
+            f"<Cap {tag} {self.address:#010x} [{self.base:#x},{self.top:#x})"
+            f" {perms}{seal}>"
+        )
+
+
+def _check_seal_authority(authority: Capability, needed: Permission) -> None:
+    if not authority.tag:
+        raise TagFault("sealing authority is untagged")
+    if authority.is_sealed:
+        raise SealedFault("sealing authority is itself sealed")
+    if needed not in authority.perms:
+        raise PermissionFault(f"sealing authority lacks {needed}")
+    if not authority.in_bounds(authority.address, 1):
+        raise BoundsFault(
+            f"otype {authority.address} outside sealing authority bounds"
+        )
+
+
+def _check_otype_for(target: Capability, otype: int) -> None:
+    if not otypes_mod.is_valid_otype(otype) or otype == otypes_mod.OTYPE_UNSEALED:
+        raise OTypeFault(f"invalid otype for sealing: {otype}")
+
+
+def attenuate_loaded(loaded: Capability, authority: Capability) -> Capability:
+    """Apply the recursive load attenuations (paper section 3.1.1).
+
+    When a tagged capability is loaded through ``authority``:
+
+    * without ``LG`` on the authority, the loaded capability has GL and
+      LG cleared (it becomes local and propagates locality);
+    * without ``LM`` on the authority, the loaded capability has LM and
+      its store permissions cleared (deep immutability) — this applies to
+      data capabilities; sealed and executable capabilities keep their
+      permissions so sentries still work.
+
+    Untagged values pass through unchanged (they are just bits).
+    """
+    if not loaded.tag:
+        return loaded
+    perms = frozenset(loaded.perms)
+    if Permission.LG not in authority.perms:
+        perms = perms - {Permission.GL, Permission.LG}
+    if Permission.LM not in authority.perms and not loaded.is_executable:
+        perms = perms - {Permission.LM, Permission.SD, Permission.SL}
+    if perms == loaded.perms:
+        return loaded
+    return replace(loaded, perms=compression.normalize(perms))

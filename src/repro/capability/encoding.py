@@ -1,0 +1,71 @@
+"""Packing capabilities into their 64-bit stored form (paper Figure 1).
+
+The in-memory representation is two 32-bit words plus the out-of-band
+tag bit:
+
+* word 1 (metadata), bit layout ``[31] R  [30:25] p  [24:22] o  [21:18] E
+  [17:9] B  [8:0] T``
+* word 0: the 32-bit address.
+
+The tag is *not* part of the 64 bits — it lives in the tag SRAM
+(:mod:`repro.memory.tagged_memory`).  Packing and unpacking roundtrip
+exactly; the 6-bit permission field uses the compressed formats of
+:mod:`repro.capability.compression`.
+"""
+
+from __future__ import annotations
+
+from . import compression
+from .bounds import EncodedBounds
+from .capability import Capability
+
+_META_R_SHIFT = 31
+_META_P_SHIFT = 25
+_META_O_SHIFT = 22
+_META_E_SHIFT = 18
+_META_B_SHIFT = 9
+_META_T_SHIFT = 0
+
+_WORD_MASK = 0xFFFFFFFF
+
+
+def pack_metadata(cap: Capability) -> int:
+    """Pack the non-address half of a capability into 32 bits."""
+    meta = 0
+    if cap.reserved:
+        meta |= 1 << _META_R_SHIFT
+    meta |= compression.compress(cap.perms) << _META_P_SHIFT
+    meta |= (cap.otype & 0x7) << _META_O_SHIFT
+    meta |= (cap.bounds.exponent_field & 0xF) << _META_E_SHIFT
+    meta |= (cap.bounds.base_field & 0x1FF) << _META_B_SHIFT
+    meta |= (cap.bounds.top_field & 0x1FF) << _META_T_SHIFT
+    return meta
+
+
+def pack(cap: Capability) -> int:
+    """Pack a capability into its 64-bit stored form (address in low word)."""
+    return (pack_metadata(cap) << 32) | (cap.address & _WORD_MASK)
+
+
+def unpack(bits: int, tag: bool) -> Capability:
+    """Unpack 64 stored bits plus the out-of-band tag into a capability."""
+    if not 0 <= bits < (1 << 64):
+        raise ValueError(f"capability bits out of range: {bits:#x}")
+    address = bits & _WORD_MASK
+    meta = (bits >> 32) & _WORD_MASK
+    reserved = bool(meta & (1 << _META_R_SHIFT))
+    perms = compression.decompress((meta >> _META_P_SHIFT) & 0x3F)
+    otype = (meta >> _META_O_SHIFT) & 0x7
+    bounds = EncodedBounds(
+        exponent_field=(meta >> _META_E_SHIFT) & 0xF,
+        base_field=(meta >> _META_B_SHIFT) & 0x1FF,
+        top_field=(meta >> _META_T_SHIFT) & 0x1FF,
+    )
+    return Capability(
+        address=address,
+        bounds=bounds,
+        perms=perms,
+        otype=otype,
+        tag=tag,
+        reserved=reserved,
+    )

@@ -1,0 +1,40 @@
+"""Fault taxonomy for capability manipulation and dereference.
+
+These exceptions model the CHERI exception causes.  At the ISA level
+(:mod:`repro.isa.executor`) they are caught and turned into processor
+traps; library-level users of :class:`repro.capability.Capability` see
+them directly.
+"""
+
+from __future__ import annotations
+
+
+class CapabilityError(Exception):
+    """Base class for every capability fault."""
+
+
+class TagFault(CapabilityError):
+    """An untagged (invalid) capability was used as an authority."""
+
+
+class SealedFault(CapabilityError):
+    """A sealed capability was dereferenced or modified."""
+
+
+class PermissionFault(CapabilityError):
+    """The authorizing capability lacks a required permission."""
+
+
+class BoundsFault(CapabilityError):
+    """The access lies (partly) outside the authorizing bounds."""
+
+
+class MonotonicityFault(CapabilityError):
+    """An operation attempted to *increase* authority (wider bounds,
+
+    new permissions, or setting a tag) — forbidden by guarded
+    manipulation (paper section 2.4)."""
+
+
+class OTypeFault(CapabilityError):
+    """Seal/unseal with a wrong or out-of-range object type."""

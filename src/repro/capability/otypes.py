@@ -1,0 +1,98 @@
+"""Object types (otypes), sealing, and sentries (paper sections 3.1.2, 3.2.2).
+
+CHERIoT stores a 3-bit otype.  Value 0 denotes *unsealed*; the remaining
+seven values form **two disjoint namespaces** selected by the execute
+permission of the sealed capability:
+
+* **Executable otypes** — five are consumed by (or reserved for) sealed
+  entry ("sentry") capabilities, which unseal automatically when jumped
+  to and additionally control the interrupt posture; the last two are
+  available to software.
+* **Data otypes** — none has hardware significance; the RTOS allocates
+  four for core components and leaves three for other use.
+
+Because the architectural otype space is tiny, the RTOS bootstraps a
+*virtualised* sealing mechanism on top (paper footnote 5); that lives in
+:mod:`repro.rtos.sealing_service`.
+"""
+
+from __future__ import annotations
+
+import enum
+
+#: Number of bits in the stored otype field.
+OTYPE_BITS = 3
+#: The otype value denoting an unsealed capability.
+OTYPE_UNSEALED = 0
+#: Number of sealed otype values per namespace (executable / data).
+SEALED_OTYPE_COUNT = (1 << OTYPE_BITS) - 1  # 7
+
+
+class SentryType(enum.IntEnum):
+    """Executable otypes with hardware meaning (sentries).
+
+    Three forward sentries control interrupt posture on entry; two
+    backward (return) sentries are reserved so later CHERIoT revisions
+    can distinguish forward and backward control-flow arcs (paper
+    footnote 4).  The remaining two executable otypes are for software.
+    """
+
+    #: Jump target runs with the caller's interrupt posture unchanged.
+    INHERIT = 1
+    #: Jump target runs with interrupts disabled.
+    DISABLE_INTERRUPTS = 2
+    #: Jump target runs with interrupts enabled.
+    ENABLE_INTERRUPTS = 3
+    #: Return sentry that restores a disabled-interrupt posture.
+    RETURN_DISABLED = 4
+    #: Return sentry that restores an enabled-interrupt posture.
+    RETURN_ENABLED = 5
+
+
+#: Executable otypes with no hardware meaning, free for software.
+SOFTWARE_EXECUTABLE_OTYPES = (6, 7)
+
+#: Data otypes the RTOS allocates for its core components (section 3.2.2).
+RTOS_DATA_OTYPES = {
+    "compartment-export": 1,
+    "switcher-trusted-stack": 2,
+    "allocator-token": 3,
+    "scheduler-handle": 4,
+}
+
+#: Data otypes left for application software.
+FREE_DATA_OTYPES = (5, 6, 7)
+
+#: All sentry otypes (hardware-interpreted executable seals).
+SENTRY_OTYPES = frozenset(int(s) for s in SentryType)
+
+#: Forward sentries — valid targets for a sealed jump.
+FORWARD_SENTRY_OTYPES = frozenset(
+    {SentryType.INHERIT, SentryType.DISABLE_INTERRUPTS, SentryType.ENABLE_INTERRUPTS}
+)
+
+#: Backward (return) sentries, produced by jump-and-link.
+RETURN_SENTRY_OTYPES = frozenset(
+    {SentryType.RETURN_DISABLED, SentryType.RETURN_ENABLED}
+)
+
+
+def is_valid_otype(otype: int) -> bool:
+    """True when ``otype`` fits in the stored field."""
+    return 0 <= otype < (1 << OTYPE_BITS)
+
+
+def is_sentry(otype: int, executable: bool) -> bool:
+    """True when a sealed capability is a (forward or return) sentry."""
+    return executable and otype in SENTRY_OTYPES
+
+
+def return_sentry_for_posture(interrupts_enabled: bool) -> SentryType:
+    """Return-sentry otype capturing the current interrupt posture.
+
+    On a jump-and-link the link register receives a sentry that restores
+    the *current* posture when later jumped to (section 3.1.2).
+    """
+    if interrupts_enabled:
+        return SentryType.RETURN_ENABLED
+    return SentryType.RETURN_DISABLED

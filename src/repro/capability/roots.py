@@ -1,0 +1,52 @@
+"""The three CPU-reset root capabilities (paper section 3.1.1).
+
+Because executable capabilities may not permit stores (W^X) and sealing
+permissions live in a namespace distinct from memory, CHERIoT needs
+three roots, all present in registers at reset:
+
+* the **memory read/write root** — every data capability derives from it;
+* the **executable root** — all code capabilities derive from it;
+* the **sealing root** — authority over the whole otype space.
+
+Early-boot software (our :mod:`repro.rtos.loader`) derives everything
+the system needs and then erases the roots.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from .bounds import ADDRESS_BITS
+from .capability import Capability
+from .otypes import OTYPE_BITS
+from .permissions import Permission as P
+
+_FULL_SPACE = 1 << ADDRESS_BITS
+
+
+class RootSet(NamedTuple):
+    """The three capability roots present in registers at reset."""
+
+    memory: Capability
+    executable: Capability
+    sealing: Capability
+
+
+def make_roots() -> RootSet:
+    """Forge the reset roots over the full 32-bit address space."""
+    memory = Capability.from_bounds(
+        base=0,
+        length=_FULL_SPACE,
+        perms={P.GL, P.LD, P.SD, P.MC, P.SL, P.LG, P.LM},
+    )
+    executable = Capability.from_bounds(
+        base=0,
+        length=_FULL_SPACE,
+        perms={P.GL, P.EX, P.LD, P.MC, P.SR, P.LM, P.LG},
+    )
+    sealing = Capability.from_bounds(
+        base=0,
+        length=1 << OTYPE_BITS,
+        perms={P.GL, P.SE, P.US, P.U0},
+    )
+    return RootSet(memory=memory, executable=executable, sealing=sealing)

@@ -1,0 +1,73 @@
+"""A conservative peephole optimizer over generated assembly.
+
+The baseline code generator spills every assignment to its stack slot
+and reloads on every use — faithful to ``-O0``, pessimistic for
+``-Oz``.  Real compilers keep just-stored values in registers; this
+pass recovers exactly that within a basic block:
+
+* ``sw rX, off(base)`` immediately followed by ``lw rY, off(base)``
+  becomes the store plus ``mv rY, rX`` (same for ``csc``/``clc``);
+* ``mv rX, rX`` is deleted.
+
+Dropping a ``clc`` reload also drops its load-filter check — which is
+precisely what holding a capability in a register means
+architecturally: revocation invalidates *memory* copies; register
+copies survive until reloaded (that is why the RTOS clears registers on
+compartment switch).  The transformation is therefore
+semantics-preserving at the ISA level, not merely at the C level.
+
+Only exactly-adjacent pairs are fused and label boundaries end a block,
+so the pass cannot move an access across a store to the same slot or a
+control-flow join.
+
+The pass relies on the code generator's type discipline: ``sw``/``lw``
+pairs only ever move int-typed values (capability-typed slots use
+``csc``/``clc``), so fusing a ``sw``+``lw`` into ``mv`` cannot launder a
+tag.  Mixed-width pairs (``sw`` then ``clc``) are never fused — the data
+store cleared the granule's tag and the reload must observe that.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+_STORE_RE = re.compile(r"^\s*(sw|csc)\s+(\w+),\s*(-?\w+)\((\w+)\)\s*$")
+_LOAD_RE = re.compile(r"^\s*(lw|clc)\s+(\w+),\s*(-?\w+)\((\w+)\)\s*$")
+_MV_RE = re.compile(r"^\s*(mv|cmove)\s+(\w+),\s*(\w+)\s*$")
+_LABEL_RE = re.compile(r"^\s*[\w.]+:\s*$")
+
+_PAIRS = {"sw": "lw", "csc": "clc"}
+
+
+def peephole(lines: List[str]) -> "Tuple[List[str], int]":
+    """Apply the peepholes; returns (new_lines, instructions_removed)."""
+    out: List[str] = []
+    removed = 0
+    for line in lines:
+        fused = False
+        if out and not _LABEL_RE.match(line):
+            store = _STORE_RE.match(out[-1])
+            load = _LOAD_RE.match(line)
+            if (
+                store
+                and load
+                and _PAIRS.get(store.group(1)) == load.group(1)
+                and store.group(3) == load.group(3)  # same offset
+                and store.group(4) == load.group(4)  # same base register
+            ):
+                src_reg = store.group(2)
+                dst_reg = load.group(2)
+                mnemonic = "cmove" if load.group(1) == "clc" else "mv"
+                if dst_reg == src_reg:
+                    removed += 1  # reload of the value already there
+                    continue
+                out.append(f"    {mnemonic} {dst_reg}, {src_reg}")
+                fused = True
+        if not fused:
+            mv = _MV_RE.match(line)
+            if mv and mv.group(2) == mv.group(3):
+                removed += 1
+                continue
+            out.append(line)
+    return out, removed

@@ -1,0 +1,39 @@
+"""Structural hardware cost models (area, power) for Table 2."""
+
+from .critical_path import TimingReport, format_timing, timing_reports
+from .area_power import (
+    BASELINE_GATES,
+    BASELINE_POWER_MW,
+    FMAX_MHZ,
+    Block,
+    CoreVariant,
+    Table2Row,
+    area_power_table,
+    format_table2,
+    ibex_variants,
+    rv32e,
+    rv32e_capabilities,
+    rv32e_pmp16,
+    with_background_revoker,
+    with_load_filter,
+)
+
+__all__ = [
+    "BASELINE_GATES",
+    "BASELINE_POWER_MW",
+    "Block",
+    "CoreVariant",
+    "FMAX_MHZ",
+    "Table2Row",
+    "TimingReport",
+    "area_power_table",
+    "format_table2",
+    "format_timing",
+    "timing_reports",
+    "ibex_variants",
+    "rv32e",
+    "rv32e_capabilities",
+    "rv32e_pmp16",
+    "with_background_revoker",
+    "with_load_filter",
+]

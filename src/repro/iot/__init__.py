@@ -1,0 +1,42 @@
+"""The end-to-end compartmentalized IoT application (paper section 7.2.3)."""
+
+from .app import CLOCK_MHZ, TICK_MS, IoTApplication, IoTReport
+from .jsvm import JavaScriptVM, VMError, VMStats, led_animation_bytecode
+from .mqtt import MQTTClient, MQTTError, MQTTStats
+from .netstack import NetStats, NetworkStack
+from .packets import (
+    CloudSource,
+    FramingError,
+    Message,
+    Packet,
+    checksum16,
+    frame,
+    unframe,
+)
+from .tls import TLSError, TLSSession, TLSStats
+
+__all__ = [
+    "CLOCK_MHZ",
+    "CloudSource",
+    "FramingError",
+    "IoTApplication",
+    "IoTReport",
+    "JavaScriptVM",
+    "MQTTClient",
+    "MQTTError",
+    "MQTTStats",
+    "Message",
+    "NetStats",
+    "NetworkStack",
+    "Packet",
+    "TICK_MS",
+    "TLSError",
+    "TLSSession",
+    "TLSStats",
+    "VMError",
+    "VMStats",
+    "checksum16",
+    "frame",
+    "led_animation_bytecode",
+    "unframe",
+]

@@ -1,0 +1,271 @@
+"""A Microvium-like JavaScript bytecode VM, in its own compartment.
+
+The paper's application fetches JavaScript bytecode from the cloud and
+runs it under the Microvium interpreter every 10 ms to animate LEDs
+(section 7.2.3).  This module is the stand-in: a small stack-based
+bytecode VM whose heap objects are *real heap allocations* protected by
+the system's temporal safety, and which — like Microvium — does not
+reuse memory between garbage-collection passes, so the revocation
+machinery covers JavaScript objects accessed from C too.
+
+Bytecode (1-byte opcodes, optional 1-byte operand)::
+
+    00 HALT        01 PUSH imm      02 ADD     03 SUB    04 MUL
+    05 DUP         06 DROP          07 MOD
+    10 LOADG s     11 STOREG s      (16 global slots)
+    20 JNZ off     21 JMP off       (signed relative, from next pc)
+    30 LED n       (set LED n to top-of-stack, popped)
+    40 NEWOBJ len  (allocate a JS object of len bytes on the heap)
+    41 SETF f      (store top-of-stack into field f of newest object)
+    42 GETF f      (push field f of the newest object)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.capability import Capability
+
+OP_HALT = 0x00
+OP_PUSH = 0x01
+OP_ADD = 0x02
+OP_SUB = 0x03
+OP_MUL = 0x04
+OP_DUP = 0x05
+OP_DROP = 0x06
+OP_MOD = 0x07
+OP_LOADG = 0x10
+OP_STOREG = 0x11
+OP_JNZ = 0x20
+OP_JMP = 0x21
+OP_LED = 0x30
+OP_NEWOBJ = 0x40
+OP_SETF = 0x41
+OP_GETF = 0x42
+
+_HAS_OPERAND = {
+    OP_PUSH, OP_LOADG, OP_STOREG, OP_JNZ, OP_JMP, OP_LED, OP_NEWOBJ,
+    OP_SETF, OP_GETF,
+}
+
+#: Interpreter cycles per bytecode operation (dispatch + execute on an
+#: embedded core; Microvium-scale interpreters run tens of cycles/op).
+CYCLES_PER_OP = 22
+#: Extra cycles for an allocating op (VM-side bookkeeping only; the
+#: allocator's own cost is charged by the allocator compartment).
+CYCLES_PER_ALLOC_OP = 60
+
+NUM_GLOBALS = 16
+NUM_LEDS = 8
+
+
+class VMError(Exception):
+    """Bytecode fault (stack underflow, bad opcode, truncated operand)."""
+
+
+@dataclass
+class VMStats:
+    ticks: int = 0
+    ops_executed: int = 0
+    objects_allocated: int = 0
+    gc_passes: int = 0
+
+
+class JavaScriptVM:
+    """The interpreter compartment's state and engine."""
+
+    def __init__(
+        self,
+        malloc: Callable[[int], Capability],
+        free: Callable[[Capability], None],
+        write_field: Callable[[Capability, int, int], None],
+        read_field: Callable[[Capability, int], int],
+        gc_interval_ticks: int = 50,
+        max_steps_per_tick: int = 4096,
+    ) -> None:
+        """``malloc``/``free`` are the (cross-compartment) allocator
+
+        entry points; ``write_field``/``read_field`` perform the actual
+        capability-authorized memory accesses for object fields."""
+        self._malloc = malloc
+        self._free = free
+        self._write_field = write_field
+        self._read_field = read_field
+        self.gc_interval_ticks = gc_interval_ticks
+        self.max_steps_per_tick = max_steps_per_tick
+        self.bytecode: bytes = b""
+        self.globals: List[int] = [0] * NUM_GLOBALS
+        self.leds: List[int] = [0] * NUM_LEDS
+        self.stats = VMStats()
+        self._objects: List[Capability] = []
+        self._cycles_this_tick = 0
+
+    # ------------------------------------------------------------------
+    # Program management
+    # ------------------------------------------------------------------
+
+    def load_bytecode(self, bytecode: bytes) -> None:
+        self.bytecode = bytes(bytecode)
+
+    @property
+    def has_program(self) -> bool:
+        return bool(self.bytecode)
+
+    @property
+    def live_objects(self) -> int:
+        return len(self._objects)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run_tick(self) -> int:
+        """Run one 10 ms animation tick; returns cycles consumed.
+
+        A tick executes the program from the top until HALT.  Every
+        ``gc_interval_ticks`` ticks a GC pass frees every object —
+        Microvium-style no-reuse-before-collection.
+        """
+        if not self.bytecode:
+            return 0
+        self._cycles_this_tick = 0
+        self.stats.ticks += 1
+        pc = 0
+        stack: List[int] = []
+        code = self.bytecode
+        for _ in range(self.max_steps_per_tick):
+            if pc >= len(code):
+                raise VMError(f"pc {pc} past end of bytecode")
+            op = code[pc]
+            operand = 0
+            next_pc = pc + 1
+            if op in _HAS_OPERAND:
+                if pc + 1 >= len(code):
+                    raise VMError(f"truncated operand at pc {pc}")
+                operand = code[pc + 1]
+                next_pc = pc + 2
+            self.stats.ops_executed += 1
+            self._cycles_this_tick += CYCLES_PER_OP
+
+            if op == OP_HALT:
+                break
+            elif op == OP_PUSH:
+                stack.append(operand)
+            elif op in (OP_ADD, OP_SUB, OP_MUL, OP_MOD):
+                b, a = self._pop(stack), self._pop(stack)
+                if op == OP_ADD:
+                    stack.append((a + b) & 0xFFFFFFFF)
+                elif op == OP_SUB:
+                    stack.append((a - b) & 0xFFFFFFFF)
+                elif op == OP_MUL:
+                    stack.append((a * b) & 0xFFFFFFFF)
+                else:
+                    stack.append(a % b if b else 0)
+            elif op == OP_DUP:
+                stack.append(self._peek(stack))
+            elif op == OP_DROP:
+                self._pop(stack)
+            elif op == OP_LOADG:
+                stack.append(self.globals[operand % NUM_GLOBALS])
+            elif op == OP_STOREG:
+                self.globals[operand % NUM_GLOBALS] = self._pop(stack)
+            elif op == OP_JNZ:
+                if self._pop(stack):
+                    next_pc = next_pc + _signed8(operand)
+            elif op == OP_JMP:
+                next_pc = next_pc + _signed8(operand)
+            elif op == OP_LED:
+                self.leds[operand % NUM_LEDS] = self._pop(stack) & 1
+            elif op == OP_NEWOBJ:
+                size = max(8, operand)
+                cap = self._malloc(size)
+                self._objects.append(cap)
+                self.stats.objects_allocated += 1
+                self._cycles_this_tick += CYCLES_PER_ALLOC_OP
+            elif op == OP_SETF:
+                if not self._objects:
+                    raise VMError("SETF with no live object")
+                self._write_field(self._objects[-1], operand, self._pop(stack))
+            elif op == OP_GETF:
+                if not self._objects:
+                    raise VMError("GETF with no live object")
+                stack.append(self._read_field(self._objects[-1], operand))
+            else:
+                raise VMError(f"bad opcode {op:#04x} at pc {pc}")
+            pc = next_pc
+        else:
+            raise VMError("tick exceeded max_steps_per_tick (runaway bytecode)")
+
+        if self.stats.ticks % self.gc_interval_ticks == 0:
+            self._collect()
+        return self._cycles_this_tick
+
+    def _collect(self) -> None:
+        """GC: free everything; memory is not reused until revoked."""
+        self.stats.gc_passes += 1
+        for cap in self._objects:
+            self._free(cap)
+        self._objects = []
+
+    @staticmethod
+    def _pop(stack: List[int]) -> int:
+        if not stack:
+            raise VMError("stack underflow")
+        return stack.pop()
+
+    @staticmethod
+    def _peek(stack: List[int]) -> int:
+        if not stack:
+            raise VMError("stack underflow")
+        return stack[-1]
+
+
+def _signed8(value: int) -> int:
+    return value - 256 if value & 0x80 else value
+
+
+def led_animation_bytecode(work_iterations: int = 32, objects_per_tick: int = 3) -> bytes:
+    """The demo program: a counter-driven LED chase with JS garbage.
+
+    Equivalent JavaScript::
+
+        counter = (counter + 1) % 8
+        for (led = 0; led < 8; led++) setLed(led, led == counter)
+        for (i = 0; i < 32; i++) acc = (acc * 3 + i) % 251   // brightness
+        for (k = 0; k < 3; k++) state = { counter: counter } // garbage
+
+    The per-tick compute loop and fresh objects give the interpreter a
+    realistic duty cycle; every object is a real heap allocation freed
+    (not reused) at the next GC pass.
+    """
+    program = bytearray()
+    # counter = (g0 + 1) % 8
+    program += bytes([OP_LOADG, 0, OP_PUSH, 1, OP_ADD, OP_PUSH, 8, OP_MOD])
+    program += bytes([OP_DUP, OP_STOREG, 0])
+    program += bytes([OP_DROP])
+    # led[i] = (i == counter): unrolled compare chain
+    for led in range(NUM_LEDS):
+        #   push counter; push led; sub -> zero if equal
+        program += bytes([OP_LOADG, 0, OP_PUSH, led, OP_SUB])
+        #   jnz -> not equal: push 0, jmp set; else push 1
+        program += bytes([OP_JNZ, 4])  # skip "push 1, jmp +2"
+        program += bytes([OP_PUSH, 1, OP_JMP, 2])
+        program += bytes([OP_PUSH, 0])
+        program += bytes([OP_LED, led])
+    # The compute loop: g1 = i, g2 = acc.
+    program += bytes([OP_PUSH, 0, OP_STOREG, 1])
+    loop_top = len(program)
+    program += bytes([OP_LOADG, 2, OP_PUSH, 3, OP_MUL])
+    program += bytes([OP_LOADG, 1, OP_ADD, OP_PUSH, 251, OP_MOD, OP_STOREG, 2])
+    program += bytes([OP_LOADG, 1, OP_PUSH, 1, OP_ADD, OP_DUP, OP_STOREG, 1])
+    program += bytes([OP_PUSH, work_iterations & 0xFF, OP_SUB])
+    # JNZ back to loop_top: offset is relative to the pc after the operand.
+    back = loop_top - (len(program) + 2)
+    program += bytes([OP_JNZ, back & 0xFF])
+    # Fresh per-tick heap objects (JS garbage, collected later).
+    for _ in range(objects_per_tick):
+        program += bytes([OP_NEWOBJ, 16])
+        program += bytes([OP_LOADG, 0, OP_SETF, 0])
+    program += bytes([OP_HALT])
+    return bytes(program)

@@ -1,0 +1,60 @@
+"""The MQTT compartment: topic parsing and subscriber dispatch.
+
+The stand-in for the FreeRTOS MQTT library: parses ``PUB:topic:payload``
+records out of decrypted TLS plaintext and dispatches them to
+subscribers registered by other compartments (the JS VM subscribes to
+``device/code`` to receive its bytecode).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+#: Parse + dispatch cost per message.
+CYCLES_PER_MESSAGE = 700
+
+
+class MQTTError(Exception):
+    """Malformed MQTT record."""
+
+
+@dataclass
+class MQTTStats:
+    messages: int = 0
+    dispatched: int = 0
+    unknown_topic: int = 0
+
+
+class MQTTClient:
+    """Minimal topic router."""
+
+    def __init__(self) -> None:
+        self.stats = MQTTStats()
+        self._subscribers: Dict[str, List[Callable[[bytes], None]]] = {}
+
+    def subscribe(self, topic: str, handler: Callable[[bytes], None]) -> None:
+        self._subscribers.setdefault(topic, []).append(handler)
+
+    def handle_record(self, plaintext: bytes) -> "Tuple[int, int]":
+        """Parse one record, dispatch to subscribers.
+
+        Returns ``(handlers_invoked, cycles)``.  Raises
+        :class:`MQTTError` on malformed records.
+        """
+        cycles = CYCLES_PER_MESSAGE
+        if not plaintext.startswith(b"PUB:"):
+            raise MQTTError(f"unknown record type: {plaintext[:8]!r}")
+        try:
+            _, topic_bytes, payload = plaintext.split(b":", 2)
+        except ValueError:
+            raise MQTTError("malformed PUB record") from None
+        topic = topic_bytes.decode("ascii", errors="replace")
+        self.stats.messages += 1
+        handlers = self._subscribers.get(topic, [])
+        if not handlers:
+            self.stats.unknown_topic += 1
+        for handler in handlers:
+            handler(payload)
+            self.stats.dispatched += 1
+        return len(handlers), cycles

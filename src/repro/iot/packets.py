@@ -1,0 +1,102 @@
+"""Packet framing and the simulated cloud endpoint.
+
+The paper's end-to-end application connects to the Azure IoT Hub and
+fetches JavaScript bytecode over TLS+MQTT (section 7.2.3).  We have no
+network, so :class:`CloudSource` plays the hub: it emits framed,
+"encrypted" records carrying MQTT payloads — including the JS bytecode
+program the device runs — on a configurable schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Tuple
+
+
+@dataclass(frozen=True)
+class Message:
+    """A plaintext application message, pre-TLS (cloud side)."""
+
+    sequence: int
+    body: bytes
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One network packet as it arrives at the device."""
+
+    sequence: int
+    payload: bytes
+
+    @property
+    def size(self) -> int:
+        return len(self.payload)
+
+
+def checksum16(data: bytes) -> int:
+    """The framing checksum (a 16-bit ones'-complement-ish fold)."""
+    total = 0
+    for index, byte in enumerate(data):
+        total = (total + (byte << (8 * (index & 1)))) & 0xFFFF_FFFF
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def frame(sequence: int, body: bytes) -> bytes:
+    """Wrap a body in the on-wire header: seq(2) len(2) csum(2) body."""
+    header = sequence.to_bytes(2, "little") + len(body).to_bytes(2, "little")
+    return header + checksum16(header + body).to_bytes(2, "little") + body
+
+
+class FramingError(Exception):
+    """Corrupt packet (bad length or checksum)."""
+
+
+def unframe(data: bytes) -> Tuple[int, bytes]:
+    """Parse and verify a frame; returns (sequence, body)."""
+    if len(data) < 6:
+        raise FramingError("short frame")
+    sequence = int.from_bytes(data[0:2], "little")
+    length = int.from_bytes(data[2:4], "little")
+    received = int.from_bytes(data[4:6], "little")
+    body = data[6:]
+    if len(body) != length:
+        raise FramingError(f"length mismatch: header {length}, got {len(body)}")
+    if checksum16(data[0:4] + body) != received:
+        raise FramingError("checksum mismatch")
+    return sequence, body
+
+
+class CloudSource:
+    """The simulated IoT hub: emits telemetry polls and JS bytecode."""
+
+    def __init__(self, bytecode: bytes, telemetry_interval_ms: int = 1000) -> None:
+        self.bytecode = bytecode
+        self.telemetry_interval_ms = telemetry_interval_ms
+        self._sequence = 0
+
+    def _next_seq(self) -> int:
+        self._sequence += 1
+        return self._sequence
+
+    def initial_messages(self) -> List[Message]:
+        """The connection bootstrap: bytecode delivery in MQTT chunks."""
+        messages = []
+        chunk = 64
+        for offset in range(0, len(self.bytecode), chunk):
+            body = b"PUB:device/code:" + self.bytecode[offset : offset + chunk]
+            messages.append(Message(self._next_seq(), body))
+        messages.append(Message(self._next_seq(), b"PUB:device/code-done:"))
+        return messages
+
+    def messages_for_tick(self, now_ms: int, tick_ms: int) -> List[Message]:
+        """Messages arriving within [now_ms, now_ms + tick_ms)."""
+        messages = []
+        interval = self.telemetry_interval_ms
+        boundary = (now_ms + interval - 1) // interval * interval
+        while boundary < now_ms + tick_ms:
+            body = b"PUB:device/poll:" + boundary.to_bytes(4, "little")
+            messages.append(Message(self._next_seq(), body))
+            boundary += interval
+        return messages

@@ -1,0 +1,145 @@
+"""A two-pass assembler for the simulated CHERIoT instruction set.
+
+Accepts conventional RISC-V-flavoured assembly: one instruction per
+line, ``label:`` definitions, ``#``/``;`` comments, register names in
+``x``/``c``/ABI spellings, ``imm(reg)`` memory addressing, and decimal /
+hex / binary immediates.  Produces a :class:`Program` whose label
+operands are resolved to instruction indices (the program counter is
+``code_base + 4 * index``).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from .instructions import INSTRUCTION_SPECS, Instruction
+from .registers import register_index
+
+
+class AssemblerError(Exception):
+    """Syntax or operand error, annotated with the source line."""
+
+
+@dataclass(frozen=True)
+class Program:
+    """An assembled unit: instructions plus its label table."""
+
+    instructions: Tuple[Instruction, ...]
+    labels: Dict[str, int] = field(default_factory=dict)
+    name: str = "program"
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    @property
+    def size_bytes(self) -> int:
+        """Code footprint (4 bytes per instruction)."""
+        return 4 * len(self.instructions)
+
+    def entry(self, label: str) -> int:
+        """Instruction index of a label."""
+        try:
+            return self.labels[label]
+        except KeyError:
+            raise AssemblerError(f"unknown label: {label!r}") from None
+
+
+_MEM_RE = re.compile(r"^(-?(?:0[xXbB])?[0-9a-fA-F]+)\((\w+)\)$")
+_LABEL_RE = re.compile(r"^([A-Za-z_.][\w.]*):$")
+_TOKEN_SPLIT = re.compile(r"\s*,\s*")
+
+
+def _parse_int(token: str, line: str) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblerError(f"bad immediate {token!r} in: {line}") from None
+
+
+def _strip_comment(line: str) -> str:
+    for marker in ("#", ";", "//"):
+        idx = line.find(marker)
+        if idx >= 0:
+            line = line[:idx]
+    return line.strip()
+
+
+def assemble(source: str, name: str = "program") -> Program:
+    """Assemble ``source`` into a :class:`Program`.
+
+    Raises :class:`AssemblerError` on unknown mnemonics, malformed
+    operands, wrong operand counts, or undefined labels.
+    """
+    # Pass 1: collect labels and raw instruction lines.
+    raw: List[Tuple[str, str]] = []  # (line, source text)
+    labels: Dict[str, int] = {}
+    for lineno, original in enumerate(source.splitlines(), start=1):
+        line = _strip_comment(original)
+        if not line:
+            continue
+        # A line may carry "label: instruction".
+        while True:
+            match = re.match(r"^([A-Za-z_.][\w.]*):\s*(.*)$", line)
+            if not match:
+                break
+            label, rest = match.group(1), match.group(2)
+            if label in labels:
+                raise AssemblerError(f"duplicate label {label!r} (line {lineno})")
+            labels[label] = len(raw)
+            line = rest.strip()
+            if not line:
+                break
+        if line:
+            # The recorded text is the instruction itself (labels and
+            # comments stripped) so traces and error messages are clean.
+            raw.append((line, line))
+
+    # Pass 2: parse operands with labels known.
+    instructions: List[Instruction] = []
+    for line, text in raw:
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        spec = INSTRUCTION_SPECS.get(mnemonic)
+        if spec is None:
+            raise AssemblerError(f"unknown mnemonic {mnemonic!r} in: {text}")
+        operand_kinds = [k for k in spec.signature.split(",") if k]
+        tokens = _TOKEN_SPLIT.split(parts[1].strip()) if len(parts) > 1 else []
+        if len(tokens) == 1 and tokens[0] == "":
+            tokens = []
+        if len(tokens) != len(operand_kinds):
+            raise AssemblerError(
+                f"{mnemonic} expects {len(operand_kinds)} operands "
+                f"({spec.signature}), got {len(tokens)}: {text}"
+            )
+        operands: List = []
+        for kind, token in zip(operand_kinds, tokens):
+            if kind in ("rd", "rs", "rt"):
+                try:
+                    operands.append(register_index(token))
+                except ValueError as exc:
+                    raise AssemblerError(f"{exc} in: {text}") from None
+            elif kind == "imm":
+                operands.append(_parse_int(token, text))
+            elif kind == "mem":
+                match = _MEM_RE.match(token)
+                if not match:
+                    raise AssemblerError(f"bad address operand {token!r} in: {text}")
+                offset = _parse_int(match.group(1), text)
+                try:
+                    reg = register_index(match.group(2))
+                except ValueError as exc:
+                    raise AssemblerError(f"{exc} in: {text}") from None
+                operands.append((offset, reg))
+            elif kind == "label":
+                if token not in labels:
+                    raise AssemblerError(f"undefined label {token!r} in: {text}")
+                operands.append(labels[token])
+            elif kind in ("csr", "scr", "str"):
+                operands.append(token)
+            else:  # pragma: no cover - spec table is static
+                raise AssemblerError(f"bad signature kind {kind!r}")
+        instructions.append(Instruction(mnemonic, tuple(operands), text))
+
+    return Program(tuple(instructions), labels, name)

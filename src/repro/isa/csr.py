@@ -1,0 +1,116 @@
+"""Control and status registers, including the stack high-water mark.
+
+Besides the usual machine-mode CSRs, CHERIoT adds two (paper section
+5.2.1), both protected by the SR permission and used only by the
+compartment switcher:
+
+* ``mshwmb`` — the *stack base*: lower limit of the running thread's stack;
+* ``mshwm`` — the *stack high-water mark*: on **every store** whose
+  address is >= the stack base and < the current mark, the hardware
+  lowers the mark to that address.  Stacks grow downward, so the mark
+  tracks the deepest store the thread has made, letting the switcher
+  zero only the used part of the stack.
+
+Both CSRs must be saved and restored on thread context switch — the two
+extra registers whose save/restore cost is visible in the paper's
+128 KiB allocator benchmark on Ibex.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class CSRError(Exception):
+    """Unknown CSR or access without the SR permission."""
+
+
+#: CSR name set (string-addressed; numeric encodings are not modelled).
+CSR_NAMES = ("mstatus_mie", "mcause", "mepc", "mshwmb", "mshwm", "mcycle")
+
+
+@dataclass
+class HWMState:
+    """The save/restore unit for the two stack-tracking CSRs."""
+
+    stack_base: int
+    high_water_mark: int
+
+
+class CSRFile:
+    """Machine-mode CSRs plus the CHERIoT stack high-water-mark pair."""
+
+    def __init__(self, hwm_enabled: bool = True) -> None:
+        #: Whether the stack high-water-mark hardware is fitted; when
+        #: False the CSRs still exist but the mark never moves, modelling
+        #: a core without the feature (the paper's non-``(S)`` configs).
+        self.hwm_enabled = hwm_enabled
+        self._csrs = {name: 0 for name in CSR_NAMES}
+        self._csrs["mstatus_mie"] = 1
+
+    # ------------------------------------------------------------------
+    # Generic access
+    # ------------------------------------------------------------------
+
+    def read(self, name: str) -> int:
+        try:
+            return self._csrs[name]
+        except KeyError:
+            raise CSRError(f"unknown CSR: {name}") from None
+
+    def write(self, name: str, value: int) -> None:
+        if name not in self._csrs:
+            raise CSRError(f"unknown CSR: {name}")
+        self._csrs[name] = value & 0xFFFFFFFF
+
+    # ------------------------------------------------------------------
+    # Interrupt posture
+    # ------------------------------------------------------------------
+
+    @property
+    def interrupts_enabled(self) -> bool:
+        return bool(self._csrs["mstatus_mie"])
+
+    @interrupts_enabled.setter
+    def interrupts_enabled(self, value: bool) -> None:
+        self._csrs["mstatus_mie"] = 1 if value else 0
+
+    # ------------------------------------------------------------------
+    # Stack high-water mark (section 5.2.1)
+    # ------------------------------------------------------------------
+
+    def set_stack(self, base: int, top: int) -> None:
+        """Thread start: base = stack lower limit, mark = stack top."""
+        self._csrs["mshwmb"] = base & 0xFFFFFFFF
+        self._csrs["mshwm"] = top & 0xFFFFFFFF
+
+    def note_store(self, address: int) -> None:
+        """Hardware hook invoked on every store's address.
+
+        Lowers ``mshwm`` when the store lands between the stack base and
+        the current mark (stacks grow downward in the RISC-V ABI).
+        """
+        if not self.hwm_enabled:
+            return
+        if self._csrs["mshwmb"] <= address < self._csrs["mshwm"]:
+            self._csrs["mshwm"] = address
+
+    @property
+    def stack_base(self) -> int:
+        return self._csrs["mshwmb"]
+
+    @property
+    def high_water_mark(self) -> int:
+        return self._csrs["mshwm"]
+
+    def reset_high_water_mark(self, value: int) -> None:
+        """Switcher: after clearing, pull the mark back up to ``value``."""
+        self._csrs["mshwm"] = value & 0xFFFFFFFF
+
+    def save_hwm(self) -> HWMState:
+        """Context switch: capture both stack-tracking CSRs."""
+        return HWMState(self._csrs["mshwmb"], self._csrs["mshwm"])
+
+    def restore_hwm(self, state: HWMState) -> None:
+        self._csrs["mshwmb"] = state.stack_base
+        self._csrs["mshwm"] = state.high_water_mark

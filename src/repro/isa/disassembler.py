@@ -1,0 +1,52 @@
+"""Disassembly of structural programs back to readable text.
+
+The assembler keeps the original source text per instruction; the
+disassembler is still useful for programs produced *programmatically*
+(the mini compiler) and for rendering with resolved addresses — every
+label operand prints both the instruction index and its absolute PC.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .assembler import Program
+from .instructions import Instruction
+from .registers import ABI_NAMES
+
+
+def format_operand(kind: str, operand, code_base: int) -> str:
+    if kind in ("rd", "rs", "rt"):
+        return ABI_NAMES[operand]
+    if kind == "imm":
+        return str(operand)
+    if kind == "mem":
+        offset, reg = operand
+        return f"{offset}({ABI_NAMES[reg]})"
+    if kind == "label":
+        return f".+{operand} <{code_base + 4 * operand:#x}>"
+    return str(operand)
+
+
+def format_instruction(instr: Instruction, code_base: int = 0) -> str:
+    """One instruction as text (resolved labels shown as addresses)."""
+    kinds = [k for k in instr.spec.signature.split(",") if k]
+    operands = ", ".join(
+        format_operand(kind, operand, code_base)
+        for kind, operand in zip(kinds, instr.operands)
+    )
+    return f"{instr.mnemonic} {operands}".strip()
+
+
+def disassemble(program: Program, code_base: int = 0) -> str:
+    """Render a whole program with addresses and label definitions."""
+    by_index = {}
+    for label, index in program.labels.items():
+        by_index.setdefault(index, []).append(label)
+    lines: List[str] = []
+    for index, instr in enumerate(program.instructions):
+        for label in sorted(by_index.get(index, [])):
+            lines.append(f"{label}:")
+        pc = code_base + 4 * index
+        lines.append(f"  {pc:#010x}:  {format_instruction(instr, code_base)}")
+    return "\n".join(lines)

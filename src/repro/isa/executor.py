@@ -1,0 +1,841 @@
+"""The CHERIoT CPU: functional execution of assembled programs.
+
+The executor implements the full architectural semantics — capability
+checks on every access, load-filter invalidation, sentry jumps,
+stack-high-water-mark tracking — while delegating *cycle* accounting to
+a pluggable core timing model (:mod:`repro.pipeline`).  It supports two
+execution modes so the evaluation can compare like the paper does:
+
+* ``RV32E`` — plain integer addressing, optionally checked by a PMP;
+* ``CHERIOT`` — every access authorized by a capability register, with
+  an optional load filter.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.capability import (
+    Capability,
+    Permission,
+    SentryType,
+    attenuate_loaded,
+    from_architectural_word,
+    return_sentry_for_posture,
+    to_architectural_word,
+)
+from repro.capability.errors import (
+    CapabilityError,
+    OTypeFault,
+    PermissionFault,
+    SealedFault,
+    TagFault,
+)
+from repro.capability.otypes import (
+    FORWARD_SENTRY_OTYPES,
+    RETURN_SENTRY_OTYPES,
+)
+from repro.memory.bus import SystemBus
+from .assembler import Program
+from .csr import CSRFile
+from .exceptions import Trap, TrapCause, trap_from_capability_fault
+from .instructions import Instruction
+from .load_filter import LoadFilter
+from .pmp import PMPUnit, PMPViolation
+from .registers import RegisterFile
+
+_WORD = 0xFFFFFFFF
+
+_SENTRY_NAMES = {
+    "inherit": SentryType.INHERIT,
+    "disable": SentryType.DISABLE_INTERRUPTS,
+    "enable": SentryType.ENABLE_INTERRUPTS,
+    "ret_dis": SentryType.RETURN_DISABLED,
+    "ret_en": SentryType.RETURN_ENABLED,
+}
+
+
+class ExecutionMode(enum.Enum):
+    """Which architecture the core is running."""
+
+    RV32E = "rv32e"
+    CHERIOT = "cheriot"
+
+
+class Halted(Exception):
+    """Raised by the ``halt`` instruction to end simulation cleanly."""
+
+
+@dataclass
+class ExecStats:
+    """Retired-instruction event counts (input to the timing models)."""
+
+    instructions: int = 0
+    loads: int = 0
+    stores: int = 0
+    cap_loads: int = 0
+    cap_stores: int = 0
+    branches: int = 0
+    branches_taken: int = 0
+    jumps: int = 0
+    muls: int = 0
+    divs: int = 0
+    traps: int = 0
+
+    def reset(self) -> None:
+        for name in vars(self):
+            setattr(self, name, 0)
+
+
+def _signed(value: int) -> int:
+    value &= _WORD
+    return value - (1 << 32) if value & 0x80000000 else value
+
+
+class CPU:
+    """A single CHERIoT (or plain RV32E) hart attached to a bus."""
+
+    def __init__(
+        self,
+        bus: SystemBus,
+        mode: ExecutionMode = ExecutionMode.CHERIOT,
+        load_filter: Optional[LoadFilter] = None,
+        pmp: Optional[PMPUnit] = None,
+        timing=None,
+        hwm_enabled: bool = True,
+        cfi_strict: bool = False,
+    ) -> None:
+        self.bus = bus
+        self.mode = mode
+        self.load_filter = load_filter
+        self.pmp = pmp
+        self.timing = timing
+        #: The paper's footnote 4: later CHERIoT revisions distinguish
+        #: forward and backward control-flow arcs.  With ``cfi_strict``
+        #: a *call* (``jalr`` writing a link register) may not consume a
+        #: return sentry, and a *return* (``jalr`` with rd == zero) may
+        #: not consume a forward sentry — killing sentry-reuse gadgets.
+        self.cfi_strict = cfi_strict
+        self.regs = RegisterFile()
+        self.csr = CSRFile(hwm_enabled=hwm_enabled)
+        self.stats = ExecStats()
+        self.program: Optional[Program] = None
+        self.code_base = 0
+        self.pc = 0
+        self.pcc: Capability = Capability.null()
+        #: Optional hook invoked by ``ecall`` with the CPU; when None an
+        #: ECALL trap is raised instead.
+        self.ecall_handler: Optional[Callable[["CPU"], None]] = None
+        #: Pending asynchronous interrupt (set by devices or tests);
+        #: taken at the next instruction boundary when the interrupt
+        #: posture allows — sentries make that posture auditable.
+        self.interrupt_pending: Optional[TrapCause] = None
+        #: The most recent trap taken through the vector (diagnostics).
+        self.last_trap: Optional[Trap] = None
+        #: Optional :class:`repro.isa.timer.ClintTimer` polled per step.
+        self.timer = None
+        self._halted = False
+
+    # ------------------------------------------------------------------
+    # Program control
+    # ------------------------------------------------------------------
+
+    def load_program(
+        self,
+        program: Program,
+        code_base: int,
+        pcc: Optional[Capability] = None,
+        entry: str = "",
+    ) -> None:
+        """Install a program and point the PC at its entry label.
+
+        In CHERIoT mode a PCC covering the code region must be supplied;
+        instruction fetch is authorized against it.
+        """
+        self.program = program
+        self.code_base = code_base
+        index = program.entry(entry) if entry else 0
+        self.pc = code_base + 4 * index
+        if self.mode is ExecutionMode.CHERIOT:
+            if pcc is None:
+                raise ValueError("CHERIoT mode requires a PCC")
+            self.pcc = pcc.set_address(self.pc)
+        self._halted = False
+
+    @property
+    def halted(self) -> bool:
+        return self._halted
+
+    def run(self, max_steps: int = 10_000_000) -> ExecStats:
+        """Execute until ``halt`` or the step budget is exhausted."""
+        for _ in range(max_steps):
+            if self.timer is not None:
+                self.timer.tick(self)
+            try:
+                self.step()
+            except Halted:
+                self._halted = True
+                return self.stats
+        raise RuntimeError(f"program exceeded {max_steps} steps")
+
+    # ------------------------------------------------------------------
+    # Single step
+    # ------------------------------------------------------------------
+
+    def _fetch(self) -> Instruction:
+        if self.program is None:
+            raise RuntimeError("no program loaded")
+        index = (self.pc - self.code_base) // 4
+        if self.pc % 4 or not 0 <= index < len(self.program.instructions):
+            raise Trap(TrapCause.CHERI_BOUNDS, self.pc, "pc outside program")
+        if self.mode is ExecutionMode.CHERIOT:
+            try:
+                self.pcc = self.pcc.set_address(self.pc)
+                self.pcc.check_access(self.pc, 4, (Permission.EX,))
+            except CapabilityError as fault:
+                raise trap_from_capability_fault(fault, self.pc) from fault
+        return self.program.instructions[index]
+
+    def step(self) -> None:
+        """Fetch, execute and retire one instruction.
+
+        Synchronous faults and pending interrupts vector to the trap
+        handler named by the ``mtcc`` special capability register when
+        one is installed; otherwise the :class:`Trap` propagates to the
+        caller (convenient for tests and bare-metal benchmarks).
+        """
+        if (
+            self.interrupt_pending is not None
+            and self.csr.interrupts_enabled
+            and self._trap_vector_installed()
+        ):
+            cause = self.interrupt_pending
+            self.interrupt_pending = None
+            self._vector(Trap(cause, self.pc))
+            return
+        try:
+            instr = self._fetch()
+            next_pc = self.pc + 4
+            info = _RetireInfo(instr, pc=self.pc)
+            try:
+                next_pc = self._execute(instr, next_pc, info)
+            except CapabilityError as fault:
+                self.stats.traps += 1
+                raise trap_from_capability_fault(fault, self.pc) from fault
+            except PMPViolation as fault:
+                self.stats.traps += 1
+                raise Trap(TrapCause.PMP_FAULT, self.pc, str(fault)) from fault
+        except Trap as trap:
+            if self._trap_vector_installed():
+                self._vector(trap)
+                return
+            raise
+        self.stats.instructions += 1
+        if self.timing is not None:
+            self.timing.retire(instr, info)
+        self.pc = next_pc
+
+    # ------------------------------------------------------------------
+    # Trap vectoring
+    # ------------------------------------------------------------------
+
+    def _trap_vector_installed(self) -> bool:
+        if self.mode is not ExecutionMode.CHERIOT:
+            return False
+        mtcc = self.regs.read_scr("mtcc")
+        return mtcc.tag and Permission.EX in mtcc.perms
+
+    def _vector(self, trap: Trap) -> None:
+        """Take a trap: save state, disable interrupts, enter mtcc."""
+        mtcc = self.regs.read_scr("mtcc")
+        self.csr.write("mcause", trap.cause.code)
+        self.csr.write("mepc", trap.pc)
+        self.regs.write_scr("mepcc", self.pcc.set_address(trap.pc))
+        self.csr.interrupts_enabled = False
+        self.last_trap = trap
+        self.pcc = mtcc
+        self.pc = mtcc.address
+        if self.timing is not None:
+            # Pipeline flush + redirect into the handler.
+            self.timing.charge(self.timing.params.branch_taken_penalty + 2)
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+
+    def _execute(self, instr: Instruction, next_pc: int, info: "_RetireInfo") -> int:
+        handler = _DISPATCH.get(instr.mnemonic)
+        if handler is None:
+            raise Trap(
+                TrapCause.ILLEGAL_INSTRUCTION, self.pc, f"no handler: {instr.mnemonic}"
+            )
+        return handler(self, instr.operands, next_pc, info)
+
+    # --- helpers ---
+
+    def _require_cheriot(self) -> None:
+        if self.mode is not ExecutionMode.CHERIOT:
+            raise Trap(
+                TrapCause.ILLEGAL_INSTRUCTION,
+                self.pc,
+                "capability instruction in RV32E mode",
+            )
+
+    def _mem_address(self, operand, size: int, kind: str):
+        """Resolve an ``imm(reg)`` operand and authorize the access.
+
+        Returns the effective address.  ``kind`` is ``"r"`` or ``"w"``
+        for data, ``"cr"``/``"cw"`` for capability-width access.
+        """
+        offset, reg = operand
+        authority = self.regs.read(reg)
+        address = (authority.address + offset) & _WORD
+        if self.mode is ExecutionMode.CHERIOT:
+            if kind == "r":
+                authority.check_access(address, size, (Permission.LD,))
+            elif kind == "w":
+                authority.check_access(address, size, (Permission.SD,))
+            elif kind == "cr":
+                authority.check_access(
+                    address, size, (Permission.LD, Permission.MC)
+                )
+            else:  # cw
+                authority.check_access(
+                    address, size, (Permission.SD, Permission.MC)
+                )
+        elif self.pmp is not None:
+            self.pmp.check(address, size, "r" if kind in ("r", "cr") else "w")
+        if address % size:
+            raise Trap(TrapCause.MISALIGNED, self.pc, f"{address:#x} % {size}")
+        return address, authority
+
+    def _check_sr(self, what: str) -> None:
+        if self.mode is ExecutionMode.CHERIOT and Permission.SR not in self.pcc.perms:
+            raise PermissionFault(f"{what} requires SR on PCC")
+
+    # ------------------------------------------------------------------
+    # Instruction implementations (registered in _DISPATCH below)
+    # ------------------------------------------------------------------
+
+    def _alu_rr(self, ops, next_pc, info, fn):
+        rd, rs, rt = ops
+        a, b = self.regs.read_int(rs), self.regs.read_int(rt)
+        self.regs.write_int(rd, fn(a, b) & _WORD)
+        return next_pc
+
+    def _alu_ri(self, ops, next_pc, info, fn):
+        rd, rs, imm = ops
+        a = self.regs.read_int(rs)
+        self.regs.write_int(rd, fn(a, imm) & _WORD)
+        return next_pc
+
+    def _branch(self, ops, next_pc, info, fn):
+        if len(ops) == 3:
+            rs, rt, target = ops
+            a, b = self.regs.read_int(rs), self.regs.read_int(rt)
+        else:  # beqz / bnez
+            rs, target = ops
+            a, b = self.regs.read_int(rs), 0
+        self.stats.branches += 1
+        if fn(a, b):
+            self.stats.branches_taken += 1
+            info.branch_taken = True
+            return self.code_base + 4 * target
+        return next_pc
+
+    def _load(self, ops, next_pc, info, size, signed):
+        rd, mem = ops
+        address, _ = self._mem_address(mem, size, "r")
+        value = self.bus.read_word(address, size)
+        if signed:
+            bit = 1 << (8 * size - 1)
+            if value & bit:
+                value |= ~((1 << (8 * size)) - 1) & _WORD
+        self.regs.write_int(rd, value)
+        self.stats.loads += 1
+        info.mem_dest = rd
+        return next_pc
+
+    def _store(self, ops, next_pc, info, size):
+        rs, mem = ops
+        address, _ = self._mem_address(mem, size, "w")
+        self.bus.write_word(address, self.regs.read_int(rs), size)
+        self.csr.note_store(address)
+        self.stats.stores += 1
+        return next_pc
+
+    def _clc(self, ops, next_pc, info):
+        self._require_cheriot()
+        rd, mem = ops
+        address, authority = self._mem_address(mem, 8, "cr")
+        loaded = self.bus.read_capability(address)
+        loaded = attenuate_loaded(loaded, authority)
+        if self.load_filter is not None:
+            loaded = self.load_filter.filter(loaded)
+        self.regs.write(rd, loaded)
+        self.stats.cap_loads += 1
+        info.mem_dest = rd
+        info.cap_load = True
+        return next_pc
+
+    def _csc(self, ops, next_pc, info):
+        self._require_cheriot()
+        rs, mem = ops
+        address, authority = self._mem_address(mem, 8, "cw")
+        value = self.regs.read(rs)
+        if value.tag and value.is_local and Permission.SL not in authority.perms:
+            raise PermissionFault(
+                "store of local capability requires SL on the authority"
+            )
+        self.bus.write_capability(address, value)
+        self.csr.note_store(address)
+        self.stats.cap_stores += 1
+        return next_pc
+
+    def _jump_link(self, rd: int, next_pc: int) -> None:
+        """Write the link register: a return sentry in CHERIoT mode."""
+        if rd == 0:
+            return
+        if self.mode is ExecutionMode.CHERIOT:
+            link = self.pcc.set_address(next_pc)
+            sentry = return_sentry_for_posture(self.csr.interrupts_enabled)
+            self.regs.write(rd, link.seal_sentry(sentry))
+        else:
+            self.regs.write_int(rd, next_pc)
+
+    def _jal(self, ops, next_pc, info):
+        rd, target = ops
+        self._jump_link(rd, next_pc)
+        self.stats.jumps += 1
+        info.branch_taken = True
+        return self.code_base + 4 * target
+
+    def _jalr(self, ops, next_pc, info):
+        rd, rs = ops
+        self.stats.jumps += 1
+        info.branch_taken = True
+        if self.mode is ExecutionMode.CHERIOT:
+            target = self.regs.read(rs)
+            if not target.tag:
+                raise TagFault("jump target untagged")
+            # The link register must capture the *caller's* posture: it
+            # is written before any sentry changes it (section 3.1.2,
+            # "the sentry type that sets interrupt posture to its
+            # current value").
+            new_posture = self.csr.interrupts_enabled
+            if target.is_sealed:
+                if target.otype in FORWARD_SENTRY_OTYPES and target.is_executable:
+                    if self.cfi_strict and rd == 0:
+                        raise SealedFault(
+                            "strict CFI: return consumed a forward sentry"
+                        )
+                    if target.otype == SentryType.DISABLE_INTERRUPTS:
+                        new_posture = False
+                    elif target.otype == SentryType.ENABLE_INTERRUPTS:
+                        new_posture = True
+                    target = target.unseal_for_jump()
+                elif target.otype in RETURN_SENTRY_OTYPES and target.is_executable:
+                    if self.cfi_strict and rd != 0:
+                        raise SealedFault(
+                            "strict CFI: call consumed a return sentry"
+                        )
+                    new_posture = target.otype == SentryType.RETURN_ENABLED
+                    target = target.unseal_for_jump()
+                else:
+                    raise SealedFault("jump to sealed non-sentry capability")
+            if Permission.EX not in target.perms:
+                raise PermissionFault("jump target lacks EX")
+            self._jump_link(rd, next_pc)
+            self.csr.interrupts_enabled = new_posture
+            self.pcc = target
+            return target.address
+        self._jump_link(rd, next_pc)
+        return self.regs.read_int(rs)
+
+    # --- capability manipulation ---
+
+    def _cap_unop(self, ops, next_pc, info, fn):
+        self._require_cheriot()
+        rd, rs = ops
+        fn(rd, self.regs.read(rs))
+        return next_pc
+
+    def _csetbounds(self, ops, next_pc, info, exact):
+        self._require_cheriot()
+        rd, rs, rt = ops
+        length = self.regs.read_int(rt)
+        self.regs.write(rd, self.regs.read(rs).set_bounds(length, exact=exact))
+        return next_pc
+
+    def _ecall(self, ops, next_pc, info):
+        if self.ecall_handler is not None:
+            self.ecall_handler(self)
+            return next_pc
+        self.stats.traps += 1
+        raise Trap(TrapCause.ECALL, self.pc)
+
+
+@dataclass
+class _RetireInfo:
+    """Per-instruction facts handed to the timing model."""
+
+    instr: Instruction
+    pc: int = 0
+    branch_taken: bool = False
+    mem_dest: Optional[int] = None  # destination register of a load
+    cap_load: bool = False
+
+    @property
+    def dest_reg(self) -> Optional[int]:
+        """Destination register, derived from the operand signature."""
+        kinds = [k for k in self.instr.spec.signature.split(",") if k]
+        for kind, operand in zip(kinds, self.instr.operands):
+            if kind == "rd":
+                return operand
+        return None
+
+    @property
+    def source_regs(self) -> "tuple":
+        kinds = [k for k in self.instr.spec.signature.split(",") if k]
+        sources = []
+        for kind, operand in zip(kinds, self.instr.operands):
+            if kind in ("rs", "rt"):
+                sources.append(operand)
+            elif kind == "mem":
+                sources.append(operand[1])
+        return tuple(sources)
+
+
+def _build_dispatch():
+    import operator
+
+    def sra(a, b):
+        return (_signed(a) >> (b & 31)) & _WORD
+
+    def div(a, b):
+        if b == 0:
+            return _WORD
+        q = abs(_signed(a)) // abs(_signed(b))
+        return -q if (_signed(a) < 0) != (_signed(b) < 0) else q
+
+    def rem(a, b):
+        if b == 0:
+            return a
+        return _signed(a) - _signed(b) * _signed(div(a, b) & _WORD)
+
+    d = {}
+
+    def rr(name, fn):
+        d[name] = lambda cpu, ops, npc, info: cpu._alu_rr(ops, npc, info, fn)
+
+    def ri(name, fn):
+        d[name] = lambda cpu, ops, npc, info: cpu._alu_ri(ops, npc, info, fn)
+
+    rr("add", operator.add)
+    rr("sub", operator.sub)
+    rr("and", operator.and_)
+    rr("or", operator.or_)
+    rr("xor", operator.xor)
+    rr("sll", lambda a, b: a << (b & 31))
+    rr("srl", lambda a, b: a >> (b & 31))
+    rr("sra", sra)
+    rr("slt", lambda a, b: int(_signed(a) < _signed(b)))
+    rr("sltu", lambda a, b: int(a < b))
+    rr("mul", lambda a, b: (_signed(a) * _signed(b)) & _WORD)
+    rr("mulh", lambda a, b: ((_signed(a) * _signed(b)) >> 32) & _WORD)
+    rr("mulhu", lambda a, b: ((a * b) >> 32) & _WORD)
+    rr("div", div)
+    rr("divu", lambda a, b: _WORD if b == 0 else a // b)
+    rr("rem", rem)
+    rr("remu", lambda a, b: a if b == 0 else a % b)
+    ri("addi", operator.add)
+    ri("andi", operator.and_)
+    ri("ori", operator.or_)
+    ri("xori", operator.xor)
+    ri("slli", lambda a, b: a << (b & 31))
+    ri("srli", lambda a, b: a >> (b & 31))
+    ri("srai", sra)
+    ri("slti", lambda a, b: int(_signed(a) < b))
+    ri("sltiu", lambda a, b: int(a < (b & _WORD)))
+
+    d["lui"] = lambda cpu, ops, npc, info: (
+        cpu.regs.write_int(ops[0], (ops[1] << 12) & _WORD),
+        npc,
+    )[1]
+    d["li"] = lambda cpu, ops, npc, info: (
+        cpu.regs.write_int(ops[0], ops[1] & _WORD),
+        npc,
+    )[1]
+    d["mv"] = lambda cpu, ops, npc, info: (
+        cpu.regs.write(ops[0], cpu.regs.read(ops[1])),
+        npc,
+    )[1]
+    d["nop"] = lambda cpu, ops, npc, info: npc
+
+    def br(name, fn):
+        d[name] = lambda cpu, ops, npc, info: cpu._branch(ops, npc, info, fn)
+
+    br("beq", lambda a, b: a == b)
+    br("bne", lambda a, b: a != b)
+    br("blt", lambda a, b: _signed(a) < _signed(b))
+    br("bge", lambda a, b: _signed(a) >= _signed(b))
+    br("bltu", lambda a, b: a < b)
+    br("bgeu", lambda a, b: a >= b)
+    br("beqz", lambda a, b: a == 0)
+    br("bnez", lambda a, b: a != 0)
+
+    d["jal"] = CPU._jal
+    d["j"] = lambda cpu, ops, npc, info: cpu._jal((0, ops[0]), npc, info)
+    d["jalr"] = CPU._jalr
+    d["ret"] = lambda cpu, ops, npc, info: cpu._jalr((0, 1), npc, info)
+
+    def ld(name, size, signed):
+        d[name] = lambda cpu, ops, npc, info: cpu._load(ops, npc, info, size, signed)
+
+    def st(name, size):
+        d[name] = lambda cpu, ops, npc, info: cpu._store(ops, npc, info, size)
+
+    ld("lb", 1, True)
+    ld("lbu", 1, False)
+    ld("lh", 2, True)
+    ld("lhu", 2, False)
+    ld("lw", 4, False)
+    st("sb", 1)
+    st("sh", 2)
+    st("sw", 4)
+    d["clc"] = CPU._clc
+    d["csc"] = CPU._csc
+
+    # --- capability manipulation ---
+
+    def cap(name, fn):
+        d[name] = lambda cpu, ops, npc, info: cpu._cap_unop(
+            ops, npc, info, lambda rd, cs: fn(cpu, rd, cs)
+        )
+
+    cap("cmove", lambda cpu, rd, cs: cpu.regs.write(rd, cs))
+    cap("cgetaddr", lambda cpu, rd, cs: cpu.regs.write_int(rd, cs.address))
+    cap("cgetbase", lambda cpu, rd, cs: cpu.regs.write_int(rd, cs.base))
+    cap("cgettop", lambda cpu, rd, cs: cpu.regs.write_int(rd, min(cs.top, _WORD)))
+    cap("cgetlen", lambda cpu, rd, cs: cpu.regs.write_int(rd, min(cs.length, _WORD)))
+    cap(
+        "cgetperm",
+        lambda cpu, rd, cs: cpu.regs.write_int(rd, to_architectural_word(cs.perms)),
+    )
+    cap("cgettag", lambda cpu, rd, cs: cpu.regs.write_int(rd, int(cs.tag)))
+    cap("cgettype", lambda cpu, rd, cs: cpu.regs.write_int(rd, cs.otype))
+    cap("ccleartag", lambda cpu, rd, cs: cpu.regs.write(rd, cs.untagged()))
+
+    def _csetaddr(cpu, ops, npc, info):
+        cpu._require_cheriot()
+        rd, rs, rt = ops
+        cpu.regs.write(rd, cpu.regs.read(rs).set_address(cpu.regs.read_int(rt)))
+        return npc
+
+    def _cincaddr(cpu, ops, npc, info):
+        cpu._require_cheriot()
+        rd, rs, rt = ops
+        cpu.regs.write(rd, cpu.regs.read(rs).inc_address(_signed(cpu.regs.read_int(rt))))
+        return npc
+
+    def _cincaddrimm(cpu, ops, npc, info):
+        cpu._require_cheriot()
+        rd, rs, imm = ops
+        cpu.regs.write(rd, cpu.regs.read(rs).inc_address(imm))
+        return npc
+
+    d["csetaddr"] = _csetaddr
+    d["cincaddr"] = _cincaddr
+    d["cincaddrimm"] = _cincaddrimm
+    d["csetbounds"] = lambda cpu, ops, npc, info: cpu._csetbounds(ops, npc, info, False)
+    d["csetboundsexact"] = lambda cpu, ops, npc, info: cpu._csetbounds(
+        ops, npc, info, True
+    )
+
+    def _csetboundsimm(cpu, ops, npc, info):
+        cpu._require_cheriot()
+        rd, rs, imm = ops
+        cpu.regs.write(rd, cpu.regs.read(rs).set_bounds(imm))
+        return npc
+
+    d["csetboundsimm"] = _csetboundsimm
+
+    def _candperm(cpu, ops, npc, info):
+        cpu._require_cheriot()
+        rd, rs, rt = ops
+        mask = from_architectural_word(cpu.regs.read_int(rt) & 0xFFF)
+        cpu.regs.write(rd, cpu.regs.read(rs).and_perms(mask))
+        return npc
+
+    d["candperm"] = _candperm
+
+    def _cseal(cpu, ops, npc, info):
+        cpu._require_cheriot()
+        rd, rs, rt = ops
+        cpu.regs.write(rd, cpu.regs.read(rs).seal(cpu.regs.read(rt)))
+        return npc
+
+    def _cunseal(cpu, ops, npc, info):
+        cpu._require_cheriot()
+        rd, rs, rt = ops
+        cpu.regs.write(rd, cpu.regs.read(rs).unseal(cpu.regs.read(rt)))
+        return npc
+
+    d["cseal"] = _cseal
+    d["cunseal"] = _cunseal
+
+    def _csealentry(cpu, ops, npc, info):
+        cpu._require_cheriot()
+        rd, rs, name = ops
+        try:
+            sentry = _SENTRY_NAMES[name.lower()]
+        except KeyError:
+            raise OTypeFault(f"unknown sentry type {name!r}") from None
+        cpu.regs.write(rd, cpu.regs.read(rs).seal_sentry(sentry))
+        return npc
+
+    d["csealentry"] = _csealentry
+
+    def _ctestsubset(cpu, ops, npc, info):
+        cpu._require_cheriot()
+        rd, rs, rt = ops
+        big, small = cpu.regs.read(rs), cpu.regs.read(rt)
+        ok = (
+            big.tag == small.tag
+            and small.base >= big.base
+            and small.top <= big.top
+            and small.perms <= big.perms
+        )
+        cpu.regs.write_int(rd, int(ok))
+        return npc
+
+    d["ctestsubset"] = _ctestsubset
+
+    def _csub(cpu, ops, npc, info):
+        cpu._require_cheriot()
+        rd, rs, rt = ops
+        cpu.regs.write_int(
+            rd, (cpu.regs.read(rs).address - cpu.regs.read(rt).address) & _WORD
+        )
+        return npc
+
+    d["csub"] = _csub
+
+    def _cram(cpu, ops, npc, info):
+        cpu._require_cheriot()
+        from repro.capability.bounds import representable_alignment_mask
+
+        rd, rs = ops
+        cpu.regs.write_int(rd, representable_alignment_mask(cpu.regs.read_int(rs)))
+        return npc
+
+    def _crrl(cpu, ops, npc, info):
+        cpu._require_cheriot()
+        from repro.capability.bounds import representable_length
+
+        rd, rs = ops
+        cpu.regs.write_int(rd, representable_length(cpu.regs.read_int(rs)))
+        return npc
+
+    d["cram"] = _cram
+    d["crrl"] = _crrl
+
+    def _cspecialrw(cpu, ops, npc, info):
+        cpu._require_cheriot()
+        rd, scr, rs = ops
+        cpu._check_sr(f"cspecialrw {scr}")
+        old = cpu.regs.read_scr(scr)
+        if rs != 0:
+            cpu.regs.write_scr(scr, cpu.regs.read(rs))
+        cpu.regs.write(rd, old)
+        return npc
+
+    d["cspecialrw"] = _cspecialrw
+
+    def _auipcc(cpu, ops, npc, info):
+        cpu._require_cheriot()
+        rd, imm = ops
+        cpu.regs.write(rd, cpu.pcc.set_address((cpu.pc + (imm << 12)) & _WORD))
+        return npc
+
+    d["auipcc"] = _auipcc
+
+    # --- CSRs ---
+
+    _PROTECTED_CSRS = ("mshwm", "mshwmb", "mstatus_mie")
+
+    def _csr_guard(cpu, name):
+        if name in _PROTECTED_CSRS:
+            cpu._check_sr(f"csr {name}")
+
+    def _csrr(cpu, ops, npc, info):
+        rd, name = ops
+        _csr_guard(cpu, name)
+        cpu.regs.write_int(rd, cpu.csr.read(name))
+        return npc
+
+    def _csrw(cpu, ops, npc, info):
+        name, rs = ops
+        _csr_guard(cpu, name)
+        cpu.csr.write(name, cpu.regs.read_int(rs))
+        return npc
+
+    def _csrrw(cpu, ops, npc, info):
+        rd, name, rs = ops
+        _csr_guard(cpu, name)
+        old = cpu.csr.read(name)
+        cpu.csr.write(name, cpu.regs.read_int(rs))
+        cpu.regs.write_int(rd, old)
+        return npc
+
+    def _csrsi(cpu, ops, npc, info):
+        name, imm = ops
+        _csr_guard(cpu, name)
+        cpu.csr.write(name, cpu.csr.read(name) | imm)
+        return npc
+
+    def _csrci(cpu, ops, npc, info):
+        name, imm = ops
+        _csr_guard(cpu, name)
+        cpu.csr.write(name, cpu.csr.read(name) & ~imm)
+        return npc
+
+    d["csrr"] = _csrr
+    d["csrw"] = _csrw
+    d["csrrw"] = _csrrw
+    d["csrsi"] = _csrsi
+    d["csrci"] = _csrci
+
+    # --- system ---
+
+    d["ecall"] = CPU._ecall
+
+    def _mret(cpu, ops, npc, info):
+        cpu._check_sr("mret")
+        epcc = cpu.regs.read_scr("mepcc")
+        # Simplified mstatus handling: returning from machine mode
+        # re-enables interrupts (MPIE is modelled as always set).
+        cpu.csr.interrupts_enabled = True
+        if cpu.mode is ExecutionMode.CHERIOT:
+            cpu.pcc = epcc
+        return epcc.address
+
+    d["mret"] = _mret
+
+    def _wfi(cpu, ops, npc, info):
+        return npc
+
+    d["wfi"] = _wfi
+
+    def _halt(cpu, ops, npc, info):
+        cpu.stats.instructions += 1
+        raise Halted()
+
+    d["halt"] = _halt
+
+    return d
+
+
+_DISPATCH = _build_dispatch()

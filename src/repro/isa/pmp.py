@@ -1,0 +1,86 @@
+"""A 16-entry RISC-V Physical Memory Protection unit.
+
+The industry-standard protection baseline the paper compares against
+(Table 2's "RV32E + PMP16" row).  Each entry grants R/W/X over a
+naturally-aligned power-of-two (NAPOT) region; every access engages all
+comparators in parallel — which is exactly why the PMP's power draw is
+charged on every memory operation in :mod:`repro.hw.area_power`.
+
+Contrast with CHERIoT: 16 regions total for the whole system versus a
+capability per object, and no temporal safety story at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+#: Number of PMP entries in the modelled unit.
+PMP_ENTRIES = 16
+
+
+class PMPViolation(Exception):
+    """Access denied by the PMP."""
+
+
+@dataclass(frozen=True)
+class PMPEntry:
+    """One NAPOT region grant."""
+
+    base: int
+    size: int  # must be a power of two, >= 4
+    read: bool = False
+    write: bool = False
+    execute: bool = False
+
+    def __post_init__(self) -> None:
+        if self.size < 4 or self.size & (self.size - 1):
+            raise ValueError(f"PMP size must be a power of two >= 4: {self.size}")
+        if self.base % self.size:
+            raise ValueError(
+                f"PMP base {self.base:#x} not naturally aligned to {self.size:#x}"
+            )
+
+    def matches(self, address: int, size: int) -> bool:
+        return self.base <= address and address + size <= self.base + self.size
+
+    def permits(self, kind: str) -> bool:
+        if kind == "r":
+            return self.read
+        if kind == "w":
+            return self.write
+        if kind == "x":
+            return self.execute
+        raise ValueError(f"unknown access kind {kind!r}")
+
+
+class PMPUnit:
+    """Priority-ordered list of up to 16 entries (lowest index wins)."""
+
+    def __init__(self) -> None:
+        self._entries: List[Optional[PMPEntry]] = [None] * PMP_ENTRIES
+
+    def set_entry(self, index: int, entry: Optional[PMPEntry]) -> None:
+        if not 0 <= index < PMP_ENTRIES:
+            raise ValueError(f"PMP index out of range: {index}")
+        self._entries[index] = entry
+
+    @property
+    def entries(self) -> "List[Optional[PMPEntry]]":
+        return list(self._entries)
+
+    def check(self, address: int, size: int, kind: str) -> None:
+        """Authorize an access or raise :class:`PMPViolation`.
+
+        Machine mode with no matching entry is allowed (the RISC-V
+        default); a matching entry must grant the access kind.
+        """
+        for entry in self._entries:
+            if entry is not None and entry.matches(address, size):
+                if entry.permits(kind):
+                    return
+                raise PMPViolation(
+                    f"PMP denies {kind} access at [{address:#x}, +{size})"
+                )
+        # No match: default-allow (M-mode semantics without a lockdown entry).
+        return

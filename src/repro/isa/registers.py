@@ -1,0 +1,104 @@
+"""The merged integer/capability register file (RV32E: 16 registers).
+
+CHERIoT extends each of the 16 RV32E registers to hold a full
+capability.  Integers are represented as untagged capabilities whose
+address field is the value — exactly the merged-register-file model of
+the CHERI ISA.  ``c0`` reads as the NULL capability and ignores writes.
+
+Special capability registers (SCRs) — ``pcc``, ``mtcc``, ``mtdc``,
+``mscratchc``, ``mepcc`` — live here too; access to them requires the SR
+permission on the PCC, which the executor enforces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.capability import Capability
+
+#: Number of general-purpose registers in RV32E.
+NUM_REGS = 16
+
+#: ABI register names, indexed by register number.
+ABI_NAMES = (
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+    "s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+)
+
+#: Special capability registers accessed via ``cspecialrw``.
+SCR_NAMES = ("mtcc", "mtdc", "mscratchc", "mepcc")
+
+
+def _build_name_table() -> Dict[str, int]:
+    names: Dict[str, int] = {}
+    for idx, abi in enumerate(ABI_NAMES):
+        names[abi] = idx
+        names[f"x{idx}"] = idx
+        names[f"c{idx}"] = idx
+        names[f"c{abi}"] = idx  # cra, csp, ca0 ... CHERIoT asm style
+    names["fp"] = 8
+    names["cfp"] = 8
+    return names
+
+
+#: Register-name → index lookup accepting x/c/ABI spellings.
+REGISTER_NAMES: Dict[str, int] = _build_name_table()
+
+
+def register_index(name: str) -> int:
+    """Resolve a register name (``x5``, ``c5``, ``t0``, ``ct0``) to its index."""
+    try:
+        return REGISTER_NAMES[name.lower()]
+    except KeyError:
+        raise ValueError(f"unknown register name: {name!r}") from None
+
+
+class RegisterFile:
+    """16 capability-width registers plus the SCRs."""
+
+    def __init__(self) -> None:
+        self._regs: List[Capability] = [Capability.null() for _ in range(NUM_REGS)]
+        self._scrs: Dict[str, Capability] = {n: Capability.null() for n in SCR_NAMES}
+
+    def read(self, index: int) -> Capability:
+        if not 0 <= index < NUM_REGS:
+            raise ValueError(f"register index out of range: {index}")
+        if index == 0:
+            return Capability.null()
+        return self._regs[index]
+
+    def write(self, index: int, value: Capability) -> None:
+        if not 0 <= index < NUM_REGS:
+            raise ValueError(f"register index out of range: {index}")
+        if index == 0:
+            return  # writes to zero register are discarded
+        self._regs[index] = value
+
+    def read_int(self, index: int) -> int:
+        """Read a register as a 32-bit unsigned integer (its address)."""
+        return self.read(index).address
+
+    def write_int(self, index: int, value: int) -> None:
+        """Write an integer: an untagged NULL-derived capability."""
+        self.write(index, Capability.null(value & 0xFFFFFFFF))
+
+    def read_scr(self, name: str) -> Capability:
+        return self._scrs[name]
+
+    def write_scr(self, name: str, value: Capability) -> None:
+        if name not in self._scrs:
+            raise ValueError(f"unknown SCR: {name}")
+        self._scrs[name] = value
+
+    def snapshot(self) -> List[Capability]:
+        """Copy of the GPR state (used by the context switcher)."""
+        return list(self._regs)
+
+    def restore(self, regs: List[Capability]) -> None:
+        if len(regs) != NUM_REGS:
+            raise ValueError("register snapshot has wrong length")
+        self._regs = list(regs)
+
+    def clear(self) -> None:
+        """Zero every register (compartment-switch hygiene)."""
+        self._regs = [Capability.null() for _ in range(NUM_REGS)]

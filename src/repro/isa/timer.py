@@ -1,0 +1,67 @@
+"""A CLINT-style machine timer raising periodic interrupts.
+
+Embedded RTOS preemption is driven by a machine timer: when the cycle
+count passes ``mtimecmp`` the timer posts a machine-timer interrupt,
+which the CPU takes at the next instruction boundary *if* the current
+interrupt posture allows (posture being controlled through sentries —
+section 3.1.2 — so "who can hold the timer off" is auditable).
+
+Exposed as an MMIO device::
+
+    0x0  mtimecmp  (RW) next interrupt deadline, in cycles
+    0x4  mtime     (RO) current cycle count (from the core model)
+    0x8  interval  (RW) auto-rearm period; 0 = one-shot
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from .exceptions import TrapCause
+
+if TYPE_CHECKING:  # imported lazily to avoid an isa <-> pipeline cycle
+    from repro.pipeline.model import CoreModel
+
+REG_MTIMECMP = 0x0
+REG_MTIME = 0x4
+REG_INTERVAL = 0x8
+
+
+class ClintTimer:
+    """Cycle-count timer tied to a core timing model."""
+
+    def __init__(self, core_model: "CoreModel", interval: int = 0) -> None:
+        self.core_model = core_model
+        self.mtimecmp = 0
+        self.interval = interval
+        self.fired = 0
+        if interval:
+            self.mtimecmp = core_model.cycles + interval
+
+    # -- MMIO ------------------------------------------------------------
+
+    def mmio_read(self, offset: int) -> int:
+        if offset == REG_MTIMECMP:
+            return self.mtimecmp & 0xFFFFFFFF
+        if offset == REG_MTIME:
+            return self.core_model.cycles & 0xFFFFFFFF
+        if offset == REG_INTERVAL:
+            return self.interval
+        return 0
+
+    def mmio_write(self, offset: int, value: int) -> None:
+        if offset == REG_MTIMECMP:
+            self.mtimecmp = value
+        elif offset == REG_INTERVAL:
+            self.interval = value
+
+    # -- CPU hook ----------------------------------------------------------
+
+    def tick(self, cpu) -> None:
+        """Polled by the CPU's run loop before each step."""
+        if self.mtimecmp and self.core_model.cycles >= self.mtimecmp:
+            self.fired += 1
+            cpu.interrupt_pending = TrapCause.TIMER_INTERRUPT
+            self.mtimecmp = (
+                self.core_model.cycles + self.interval if self.interval else 0
+            )

@@ -1,0 +1,94 @@
+"""Execution tracing for the ISA simulator.
+
+Attach an :class:`ExecutionTrace` to a CPU's ``timing`` slot (it proxies
+to a real timing model if you also want cycles) and every retired
+instruction is recorded with its PC and disassembly; capability-register
+writes can be reconstructed from the register file afterwards.  This is
+a debugging aid for compiler and RTOS work — the embedded equivalent of
+a waveform viewer's instruction lane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .disassembler import format_instruction
+from .instructions import Instruction
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One retired instruction."""
+
+    index: int
+    pc: int
+    text: str
+    timing_class: str
+    branch_taken: bool
+
+    def __str__(self) -> str:
+        marker = " (taken)" if self.branch_taken else ""
+        return f"{self.pc:#010x}  {self.text}{marker}"
+
+
+class ExecutionTrace:
+    """Retire-stream recorder, optionally chained to a timing model."""
+
+    def __init__(self, timing=None, limit: int = 100_000, code_base: int = 0) -> None:
+        self.timing = timing
+        self.limit = limit
+        self.code_base = code_base
+        self.entries: List[TraceEntry] = []
+        self._dropped = 0
+
+    # The executor only calls retire(); present the same interface.
+    def retire(self, instr: Instruction, info) -> None:
+        if len(self.entries) < self.limit:
+            pc = self.code_base  # refined below if the chained model knows
+            self.entries.append(
+                TraceEntry(
+                    index=len(self.entries),
+                    pc=self._pc_of(info),
+                    text=instr.text or format_instruction(instr, self.code_base),
+                    timing_class=instr.timing_class,
+                    branch_taken=info.branch_taken,
+                )
+            )
+        else:
+            self._dropped += 1
+        if self.timing is not None:
+            self.timing.retire(instr, info)
+
+    def _pc_of(self, info) -> int:
+        # The retire info does not carry the PC; traces are index-based
+        # unless a CPU hook sets one (see CPU.attach_trace).
+        return getattr(info, "pc", 0)
+
+    def charge(self, cycles: int) -> None:
+        if self.timing is not None:
+            self.timing.charge(cycles)
+
+    @property
+    def params(self):
+        if self.timing is None:
+            raise AttributeError("no chained timing model")
+        return self.timing.params
+
+    @property
+    def dropped(self) -> int:
+        return self._dropped
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def render(self, last: Optional[int] = None) -> str:
+        entries = self.entries if last is None else self.entries[-last:]
+        return "\n".join(str(entry) for entry in entries)
+
+    def mnemonic_histogram(self) -> "dict[str, int]":
+        counts: dict = {}
+        for entry in self.entries:
+            mnemonic = entry.text.split()[0]
+            counts[mnemonic] = counts.get(mnemonic, 0) + 1
+        return dict(sorted(counts.items(), key=lambda kv: -kv[1]))

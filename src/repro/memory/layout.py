@@ -1,0 +1,81 @@
+"""The default SoC memory map used by the RTOS loader and benchmarks.
+
+Mirrors the partitioning the paper describes: code and global data are
+*irrevocable* (no revocation bits), thread stacks are irrevocable, and
+only the heap region is covered by the revocation bitmap (section
+3.3.1).  The revocation bitmap and the background revoker are MMIO
+devices; the loader grants capabilities to them only to the allocator
+compartment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Region:
+    """A named, contiguous region of the address space."""
+
+    name: str
+    base: int
+    size: int
+
+    @property
+    def top(self) -> int:
+        return self.base + self.size
+
+    def contains(self, address: int, size: int = 1) -> bool:
+        return self.base <= address and address + size <= self.top
+
+
+@dataclass(frozen=True)
+class MemoryMap:
+    """The SoC's region layout."""
+
+    code: Region
+    globals_: Region
+    stacks: Region
+    heap: Region
+    revocation_mmio: Region
+    revoker_mmio: Region
+    uart_mmio: Region
+
+    def sram_regions(self) -> "tuple[Region, ...]":
+        return (self.code, self.globals_, self.stacks, self.heap)
+
+    @property
+    def sram_bytes(self) -> int:
+        return sum(r.size for r in self.sram_regions())
+
+
+def default_memory_map(
+    code_size: int = 0x0004_0000,  # 256 KiB instruction memory
+    globals_size: int = 0x0001_0000,  # 64 KiB global data
+    stacks_size: int = 0x0001_0000,  # 64 KiB of thread stacks
+    heap_size: int = 0x0004_0000,  # 256 KiB revocable heap
+) -> MemoryMap:
+    """Build the default map; sizes are configurable per benchmark.
+
+    The default heap of 256 KiB matches the allocator microbenchmark,
+    which must hold one live 128 KiB allocation plus a quarantined
+    predecessor ("the cost of scanning almost 256 KiB of SRAM", paper
+    section 7.2.2).
+    """
+    base = 0x2000_0000
+    code = Region("code", base, code_size)
+    globals_ = Region("globals", code.top, globals_size)
+    stacks = Region("stacks", globals_.top, stacks_size)
+    heap = Region("heap", stacks.top, heap_size)
+    revocation = Region("revocation_mmio", 0x8000_0000, 0x0001_0000)
+    revoker = Region("revoker_mmio", 0x8400_0000, 0x100)
+    uart = Region("uart_mmio", 0x8800_0000, 0x100)
+    return MemoryMap(
+        code=code,
+        globals_=globals_,
+        stacks=stacks,
+        heap=heap,
+        revocation_mmio=revocation,
+        revoker_mmio=revoker,
+        uart_mmio=uart,
+    )

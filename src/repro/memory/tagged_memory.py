@@ -1,0 +1,141 @@
+"""Tagged SRAM: byte-addressable memory with out-of-band capability tags.
+
+Each 8-byte granule (the size of a stored capability) carries one tag
+bit, stored out of band like the 65th bit of Flute's memory bus or the
+replicated 33rd bit on Ibex (paper section 4).  The invariants the
+hardware maintains:
+
+* a capability store sets the granule's tag iff the stored value is a
+  tagged capability;
+* **any** data write that touches a granule clears its tag — partial
+  overwrites cannot leave a forgeable half-capability behind.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.capability import CAP_SIZE_BYTES, Capability, unpack
+from repro.capability.encoding import pack
+
+
+class MemoryError_(Exception):
+    """Out-of-range or misaligned physical access."""
+
+
+class TaggedMemory:
+    """A bank of SRAM with one tag bit per 8-byte granule."""
+
+    def __init__(self, base: int, size: int) -> None:
+        if size % CAP_SIZE_BYTES != 0:
+            raise ValueError(f"size must be a multiple of {CAP_SIZE_BYTES}")
+        if base % CAP_SIZE_BYTES != 0:
+            raise ValueError(f"base must be {CAP_SIZE_BYTES}-byte aligned")
+        self.base = base
+        self.size = size
+        self._data = bytearray(size)
+        self._tags = bytearray(size // CAP_SIZE_BYTES)
+
+    # ------------------------------------------------------------------
+    # Address helpers
+    # ------------------------------------------------------------------
+
+    def contains(self, address: int, size: int = 1) -> bool:
+        """True when the byte range lies fully within this bank."""
+        return self.base <= address and address + size <= self.base + self.size
+
+    def _offset(self, address: int, size: int) -> int:
+        if not self.contains(address, size):
+            raise MemoryError_(
+                f"access [{address:#x}, +{size}) outside bank "
+                f"[{self.base:#x}, +{self.size:#x})"
+            )
+        return address - self.base
+
+    def _granule(self, offset: int) -> int:
+        return offset // CAP_SIZE_BYTES
+
+    # ------------------------------------------------------------------
+    # Data access
+    # ------------------------------------------------------------------
+
+    def read_bytes(self, address: int, size: int) -> bytes:
+        off = self._offset(address, size)
+        return bytes(self._data[off : off + size])
+
+    def write_bytes(self, address: int, data: bytes) -> None:
+        """Data write: clears the tag of every granule touched."""
+        off = self._offset(address, len(data))
+        self._data[off : off + len(data)] = data
+        first = self._granule(off)
+        last = self._granule(off + len(data) - 1) if data else first
+        for g in range(first, last + 1):
+            self._tags[g] = 0
+
+    def read_word(self, address: int, size: int = 4) -> int:
+        """Little-endian unsigned read of 1, 2 or 4 bytes."""
+        if address % size != 0:
+            raise MemoryError_(f"misaligned {size}-byte read at {address:#x}")
+        return int.from_bytes(self.read_bytes(address, size), "little")
+
+    def write_word(self, address: int, value: int, size: int = 4) -> None:
+        """Little-endian unsigned write of 1, 2 or 4 bytes."""
+        if address % size != 0:
+            raise MemoryError_(f"misaligned {size}-byte write at {address:#x}")
+        self.write_bytes(address, (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little"))
+
+    def fill(self, address: int, size: int, value: int = 0) -> None:
+        """Zero (or pattern-fill) a region, clearing tags — stack clearing."""
+        self.write_bytes(address, bytes([value & 0xFF]) * size)
+
+    # ------------------------------------------------------------------
+    # Capability access
+    # ------------------------------------------------------------------
+
+    def read_capability(self, address: int) -> Capability:
+        """Load the 8-byte granule at ``address`` as a capability.
+
+        The returned value carries the granule's tag; untagged granules
+        decode to an untagged capability (just bits).
+        """
+        if address % CAP_SIZE_BYTES != 0:
+            raise MemoryError_(f"misaligned capability read at {address:#x}")
+        off = self._offset(address, CAP_SIZE_BYTES)
+        bits = int.from_bytes(self._data[off : off + CAP_SIZE_BYTES], "little")
+        tag = bool(self._tags[self._granule(off)])
+        return unpack(bits, tag)
+
+    def write_capability(self, address: int, cap: Capability) -> None:
+        """Store a capability, setting the granule tag iff ``cap.tag``."""
+        if address % CAP_SIZE_BYTES != 0:
+            raise MemoryError_(f"misaligned capability write at {address:#x}")
+        off = self._offset(address, CAP_SIZE_BYTES)
+        self._data[off : off + CAP_SIZE_BYTES] = pack(cap).to_bytes(
+            CAP_SIZE_BYTES, "little"
+        )
+        self._tags[self._granule(off)] = 1 if cap.tag else 0
+
+    def tag_at(self, address: int) -> bool:
+        """Inspect the tag of the granule containing ``address``."""
+        off = self._offset(address, 1)
+        return bool(self._tags[self._granule(off)])
+
+    def clear_tag(self, address: int) -> None:
+        """Clear one granule's tag (the revoker's invalidation write)."""
+        off = self._offset(address, 1)
+        self._tags[self._granule(off)] = 0
+
+    def tagged_granules(self, start: Optional[int] = None, end: Optional[int] = None):
+        """Yield addresses of tagged granules in ``[start, end)``.
+
+        Skips untagged runs at C speed (``bytearray.find``) so sweeps
+        over mostly-capability-free memory are cheap to simulate.
+        """
+        lo = self.base if start is None else max(start, self.base)
+        hi = self.base + self.size if end is None else min(end, self.base + self.size)
+        first = (lo - self.base) // CAP_SIZE_BYTES
+        last = (hi - self.base) // CAP_SIZE_BYTES
+        index = self._tags.find(1, first, last)
+        while index != -1:
+            yield self.base + index * CAP_SIZE_BYTES
+            index = self._tags.find(1, index + 1, last)

@@ -1,0 +1,60 @@
+"""A memory-mapped UART for console output from simulated programs.
+
+Minimal 16550-flavoured register window::
+
+    0x0  TXDATA (WO)  write a byte to transmit
+    0x4  RXDATA (RO)  next received byte, or 0x1FF when empty
+    0x8  STATUS (RO)  bit0: tx always ready; bit1: rx data available
+
+Transmitted bytes accumulate in :attr:`output` (and complete lines in
+:attr:`lines`), which is how ISA-level examples and tests observe what
+a simulated program printed.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+REG_TXDATA = 0x0
+REG_RXDATA = 0x4
+REG_STATUS = 0x8
+
+RX_EMPTY = 0x1FF
+
+
+class UART:
+    """Console device: TX capture plus a scriptable RX queue."""
+
+    def __init__(self) -> None:
+        self.output = bytearray()
+        self._rx: List[int] = []
+
+    # -- host side -------------------------------------------------------
+
+    @property
+    def text(self) -> str:
+        return self.output.decode("utf-8", errors="replace")
+
+    @property
+    def lines(self) -> List[str]:
+        return self.text.splitlines()
+
+    def feed(self, data: bytes) -> None:
+        """Queue bytes for the program to read from RXDATA."""
+        self._rx.extend(data)
+
+    def clear(self) -> None:
+        self.output = bytearray()
+
+    # -- MMIO --------------------------------------------------------------
+
+    def mmio_read(self, offset: int) -> int:
+        if offset == REG_RXDATA:
+            return self._rx.pop(0) if self._rx else RX_EMPTY
+        if offset == REG_STATUS:
+            return 0b01 | (0b10 if self._rx else 0)
+        return 0
+
+    def mmio_write(self, offset: int, value: int) -> None:
+        if offset == REG_TXDATA:
+            self.output.append(value & 0xFF)

@@ -1,0 +1,25 @@
+"""Temporal-safety sweeping engines: epoch protocol, software and hardware revokers."""
+
+from .epoch import EpochCounter, fully_swept
+from .hardware import (
+    REG_END,
+    REG_EPOCH,
+    REG_KICK,
+    REG_START,
+    BackgroundRevoker,
+    RevokerStats,
+)
+from .software import SoftwareRevoker, SweepStats
+
+__all__ = [
+    "BackgroundRevoker",
+    "EpochCounter",
+    "REG_END",
+    "REG_EPOCH",
+    "REG_KICK",
+    "REG_START",
+    "RevokerStats",
+    "SoftwareRevoker",
+    "SweepStats",
+    "fully_swept",
+]

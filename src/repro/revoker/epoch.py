@@ -1,0 +1,57 @@
+"""The revocation epoch protocol (paper sections 3.3.2 and 5.1).
+
+The revoker publishes an epoch counter, incremented once *before*
+starting a sweep and once again *upon completion*.  Hence:
+
+* an **odd** epoch means a sweep is in progress;
+* the allocator can prove a quarantined chunk has been through a
+  complete sweep when the current epoch is **at least three greater**
+  than the epoch at which the chunk entered quarantine — enough to
+  guarantee a full begin/end pair occurred strictly after the free.
+"""
+
+from __future__ import annotations
+
+
+class EpochCounter:
+    """A monotonically increasing sweep-progress counter."""
+
+    def __init__(self) -> None:
+        self._value = 0
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    @property
+    def sweep_in_progress(self) -> bool:
+        return self._value % 2 == 1
+
+    def begin_sweep(self) -> None:
+        if self.sweep_in_progress:
+            raise RuntimeError("sweep already in progress")
+        self._value += 1
+
+    def end_sweep(self) -> None:
+        if not self.sweep_in_progress:
+            raise RuntimeError("no sweep in progress")
+        self._value += 1
+
+
+def fully_swept(open_epoch: int, current_epoch: int) -> bool:
+    """True when a quarantine list opened at ``open_epoch`` is safe.
+
+    The guarantee required is that a *complete* sweep (a begin/end pair)
+    happened strictly after the list was opened:
+
+    * opened at an **odd** epoch — a sweep was already in progress and
+      may have passed the freed granules before they were painted, so
+      that sweep does not count; the next complete sweep finishes at
+      ``open + 3`` — the paper's "age of 3 or more" rule (section 5.1);
+    * opened at an **even** epoch — no sweep was in progress, so the
+      very next complete sweep suffices and finishes at ``open + 2``.
+
+    Both cases are the tight version of the paper's conservative bound.
+    """
+    age = current_epoch - open_epoch
+    return age >= (3 if open_epoch % 2 else 2)

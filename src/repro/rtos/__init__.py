@@ -1,0 +1,62 @@
+"""The co-designed RTOS: compartments, switcher, threads, scheduling."""
+
+from .audit import AuditReport, ExportRecord, audit_image
+from .compartment import Compartment, Export, ImportToken, InterruptPosture
+from .message_queue import MessageQueue, QueueEmpty, QueueFull, QueueStats
+from .executive import Executive, ExecutiveStats
+from .latency import DisabledWindow, InterruptLatencyMonitor
+from .loader import Loader, LoaderError
+from .scheduler import (
+    CONTEXT_SWITCH_BASE_INSTRS,
+    HWM_CSR_EXTRA_INSTRS,
+    Scheduler,
+    SchedulerStats,
+)
+from .sealing_service import SealKey, SealedHandle, SealingService
+from .switcher import (
+    CROSS_CALL_INSTRS,
+    CompartmentFault,
+    CROSS_RETURN_INSTRS,
+    CallContext,
+    CompartmentSwitcher,
+    SwitcherStats,
+)
+from .thread import Thread, ThreadState
+from .waiting import WaitStats, make_hardware_wait_policy
+
+__all__ = [
+    "AuditReport",
+    "ExportRecord",
+    "MessageQueue",
+    "QueueEmpty",
+    "QueueFull",
+    "QueueStats",
+    "audit_image",
+    "CONTEXT_SWITCH_BASE_INSTRS",
+    "CROSS_CALL_INSTRS",
+    "CROSS_RETURN_INSTRS",
+    "CallContext",
+    "CompartmentFault",
+    "Compartment",
+    "CompartmentSwitcher",
+    "Export",
+    "HWM_CSR_EXTRA_INSTRS",
+    "ImportToken",
+    "InterruptLatencyMonitor",
+    "DisabledWindow",
+    "Executive",
+    "ExecutiveStats",
+    "InterruptPosture",
+    "Loader",
+    "LoaderError",
+    "SchedulerStats",
+    "Scheduler",
+    "SealKey",
+    "SealedHandle",
+    "SealingService",
+    "SwitcherStats",
+    "Thread",
+    "ThreadState",
+    "WaitStats",
+    "make_hardware_wait_policy",
+]

@@ -1,0 +1,75 @@
+"""Auditing the system image (paper section 3.1.2).
+
+"For auditing, it is far more useful to know which code runs with
+interrupts disabled than it is to know which code may toggle
+interrupts."  Because interrupt posture is carried by the sentry type an
+export is sealed with — not by a togglable privilege — the complete set
+of interrupts-disabled code is statically enumerable from the image.
+
+These helpers walk a switcher's compartment registry and produce that
+enumeration, plus a summary of the authority each compartment holds
+(its capability grants), which is the firmware-signing-time review the
+CHERIoT project performs on real images.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .compartment import Compartment, InterruptPosture
+from .switcher import CompartmentSwitcher
+
+
+@dataclass(frozen=True)
+class ExportRecord:
+    compartment: str
+    export: str
+    posture: str
+
+
+@dataclass
+class AuditReport:
+    """Everything a reviewer needs before signing an image."""
+
+    exports: List[ExportRecord] = field(default_factory=list)
+    #: Compartment name -> named capability grants (MMIO windows etc.).
+    grants: Dict[str, List[str]] = field(default_factory=dict)
+
+    @property
+    def interrupts_disabled(self) -> List[ExportRecord]:
+        """The complete set of code entry points that run with
+
+        interrupts off — the paper's headline audit question."""
+        return [
+            r for r in self.exports if r.posture == InterruptPosture.DISABLED
+        ]
+
+    def render(self) -> str:
+        lines = ["image audit", "-----------"]
+        lines.append("exports running with interrupts DISABLED:")
+        disabled = self.interrupts_disabled
+        if disabled:
+            for record in disabled:
+                lines.append(f"  {record.compartment}.{record.export}")
+        else:
+            lines.append("  (none)")
+        lines.append("capability grants:")
+        for name, slots in sorted(self.grants.items()):
+            if slots:
+                lines.append(f"  {name}: {', '.join(sorted(slots))}")
+        lines.append(f"total exports: {len(self.exports)}")
+        return "\n".join(lines)
+
+
+def audit_image(switcher: CompartmentSwitcher) -> AuditReport:
+    """Walk the registered compartments and build the audit report."""
+    report = AuditReport()
+    for name in sorted(switcher._compartments):
+        compartment: Compartment = switcher._compartments[name]
+        for export_name, export in sorted(compartment.exports.items()):
+            report.exports.append(
+                ExportRecord(name, export_name, export.posture)
+            )
+        report.grants[name] = sorted(compartment._global_caps)
+    return report

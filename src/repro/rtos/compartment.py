@@ -1,0 +1,163 @@
+"""Compartments: code + globals capability pairs with exports/imports.
+
+A CHERIoT compartment (paper section 2.6) is a contiguous region of code
+and intra-compartment global data, defined by a pair of capabilities:
+the program-counter capability covering its code and a globals
+capability covering its data.  Compartments declare **exports**
+(procedures deliberately offered to the world) and hold **imports**
+(sealed references to other compartments' exports, resolved at static
+link time by the loader).
+
+At this model's level, an export's behaviour is a Python callable
+``fn(ctx, *args)`` receiving a :class:`CallContext`; the trusted
+switcher (:mod:`repro.rtos.switcher`) is the only way to invoke one
+from outside the compartment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.capability import Capability, Permission
+from repro.capability.errors import PermissionFault, TagFault
+from repro.memory.layout import Region
+
+
+class InterruptPosture:
+    """How an export runs with respect to interrupts (section 3.1.2).
+
+    Encoded architecturally as the sentry type the loader seals the
+    entry point with; auditing *which code runs with interrupts
+    disabled* reduces to auditing which exports are INHERIT/DISABLED.
+    """
+
+    INHERIT = "inherit"
+    DISABLED = "disabled"
+    ENABLED = "enabled"
+
+
+@dataclass(frozen=True)
+class Export:
+    """One compartment entry point offered for cross-compartment calls."""
+
+    name: str
+    handler: Callable
+    posture: str = InterruptPosture.ENABLED
+    #: Straight-line instructions the entry veneer executes (cost model).
+    veneer_instructions: int = 6
+
+
+@dataclass(frozen=True)
+class ImportToken:
+    """A sealed reference to another compartment's export.
+
+    Unforgeable: only the loader mints these (sealing with the RTOS
+    export otype) and only the switcher unseals them.  Holding a token
+    licenses calling exactly that export — nothing else of the exporting
+    compartment (section 2.2).
+    """
+
+    compartment_name: str
+    export_name: str
+    sealed_cap: Capability
+
+
+class Compartment:
+    """A unit of mutual distrust: private code, globals, and exports."""
+
+    def __init__(
+        self,
+        name: str,
+        code_cap: Capability,
+        globals_cap: Capability,
+        globals_region: Optional[Region] = None,
+    ) -> None:
+        if Permission.EX not in code_cap.perms:
+            raise PermissionFault(f"compartment {name}: code capability lacks EX")
+        if Permission.SL in globals_cap.perms:
+            raise PermissionFault(
+                f"compartment {name}: globals must not carry SL "
+                "(locals may only live on the stack — section 5.2)"
+            )
+        self.name = name
+        self.code_cap = code_cap
+        self.globals_cap = globals_cap
+        self.globals_region = globals_region
+        self._exports: Dict[str, Export] = {}
+        self._imports: Dict[str, ImportToken] = {}
+        #: Named capability slots in global data.  Stores into these are
+        #: subject to the SL check: the globals capability has no SL, so
+        #: local (non-GL) capabilities can never be captured here.
+        self._global_caps: Dict[str, Capability] = {}
+        #: Plain (non-capability) global state for compartment logic.
+        self.state: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # Exports and imports
+    # ------------------------------------------------------------------
+
+    def export(
+        self,
+        name: str,
+        handler: Callable,
+        posture: str = InterruptPosture.ENABLED,
+    ) -> Export:
+        """Declare an entry point callable from other compartments."""
+        if name in self._exports:
+            raise ValueError(f"duplicate export {name!r} in {self.name}")
+        exp = Export(name, handler, posture)
+        self._exports[name] = exp
+        return exp
+
+    def get_export(self, name: str) -> Export:
+        try:
+            return self._exports[name]
+        except KeyError:
+            raise KeyError(f"{self.name} has no export {name!r}") from None
+
+    @property
+    def exports(self) -> "Dict[str, Export]":
+        return dict(self._exports)
+
+    def add_import(self, token: ImportToken) -> None:
+        """Record a resolved import (done by the loader at link time)."""
+        key = f"{token.compartment_name}.{token.export_name}"
+        self._imports[key] = token
+
+    def get_import(self, compartment: str, export: str) -> ImportToken:
+        try:
+            return self._imports[f"{compartment}.{export}"]
+        except KeyError:
+            raise KeyError(
+                f"{self.name} did not import {compartment}.{export}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Global capability storage (SL enforcement)
+    # ------------------------------------------------------------------
+
+    def store_global_cap(self, slot: str, cap: Capability) -> None:
+        """Store a capability into compartment globals.
+
+        Enforces the Store-Local rule: the globals capability carries no
+        SL, so storing a tagged *local* capability traps — this is what
+        makes scoped delegation sound (section 5.2).
+        """
+        if not isinstance(cap, Capability):
+            raise TypeError("global capability slots hold capabilities")
+        if cap.tag and cap.is_local:
+            raise PermissionFault(
+                f"{self.name}: storing local capability to globals "
+                "requires SL, which globals never have"
+            )
+        self._global_caps[slot] = cap
+
+    def load_global_cap(self, slot: str) -> Capability:
+        try:
+            return self._global_caps[slot]
+        except KeyError:
+            raise KeyError(f"{self.name} has no global capability {slot!r}") from None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Compartment {self.name} exports={sorted(self._exports)}>"

@@ -1,0 +1,136 @@
+"""A thread executive: running multiple threads over the scheduler.
+
+"Its threads and compartments are orthogonal.  At any time, the
+processor is running one thread in one compartment" (paper section
+2.6).  The executive provides the missing run loop: thread bodies are
+Python generators that yield at their blocking points, the scheduler
+picks who runs next by priority with round-robin inside a level, and a
+timeslice of *simulated cycles* triggers preemption — each switch
+paying the real context-switch cost (including the two HWM CSRs).
+
+Yield protocol — a thread body yields one of:
+
+* ``None`` — a preemption point (keep running if the timeslice allows);
+* ``("sleep", cycles)`` — block for that many simulated cycles;
+* ``("block", predicate)`` — block until ``predicate()`` is true.
+
+Returning ends the thread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generator, Optional
+
+from .scheduler import Scheduler
+from .thread import Thread, ThreadState
+
+
+@dataclass
+class _Task:
+    thread: Thread
+    body: Generator
+    wake_at: Optional[int] = None
+    wake_when: Optional[Callable[[], bool]] = None
+    slice_started_at: int = 0
+
+
+@dataclass
+class ExecutiveStats:
+    steps: int = 0
+    preemptions: int = 0
+    voluntary_yields: int = 0
+    threads_finished: int = 0
+
+
+class Executive:
+    """Drives thread generators under the scheduler's policy."""
+
+    def __init__(self, scheduler: Scheduler, core_model) -> None:
+        self.scheduler = scheduler
+        self.core_model = core_model
+        self.stats = ExecutiveStats()
+        self._tasks: Dict[int, _Task] = {}
+
+    def spawn(self, thread: Thread, body: Generator) -> None:
+        """Register a thread with its generator body."""
+        if thread.tid in self._tasks:
+            raise ValueError(f"thread {thread.tid} already spawned")
+        if thread.tid not in {t.tid for t in self.scheduler.threads}:
+            self.scheduler.add_thread(thread)
+        thread.state = ThreadState.READY
+        self._tasks[thread.tid] = _Task(thread, body)
+
+    # ------------------------------------------------------------------
+    # The run loop
+    # ------------------------------------------------------------------
+
+    def _unblock_ready(self) -> None:
+        now = self.core_model.cycles
+        for task in self._tasks.values():
+            if task.thread.state is not ThreadState.BLOCKED:
+                continue
+            if task.wake_at is not None and now >= task.wake_at:
+                task.wake_at = None
+                task.thread.state = ThreadState.READY
+            elif task.wake_when is not None and task.wake_when():
+                task.wake_when = None
+                task.thread.state = ThreadState.READY
+
+    def run(self, max_steps: int = 100_000) -> ExecutiveStats:
+        """Run until every thread finishes (or the step budget ends)."""
+        for _ in range(max_steps):
+            self._unblock_ready()
+            live = [
+                t for t in self._tasks.values()
+                if t.thread.state is not ThreadState.FINISHED
+            ]
+            if not live:
+                return self.stats
+            nxt = self.scheduler.pick_next()
+            if nxt is None:
+                # Everyone is blocked: idle until the earliest deadline.
+                deadlines = [
+                    t.wake_at for t in live if t.wake_at is not None
+                ]
+                if not deadlines:
+                    raise RuntimeError("deadlock: all threads blocked forever")
+                earliest = min(deadlines)
+                self.core_model.charge(max(earliest - self.core_model.cycles, 1))
+                continue
+            self._run_task(self._tasks[nxt.tid])
+        raise RuntimeError(f"executive exceeded {max_steps} steps")
+
+    def _run_task(self, task: _Task) -> None:
+        self.scheduler.switch_to(task.thread)
+        task.slice_started_at = self.core_model.cycles
+        timeslice = self.scheduler.timeslice_cycles
+        while True:
+            self.stats.steps += 1
+            try:
+                request = next(task.body)
+            except StopIteration:
+                task.thread.state = ThreadState.FINISHED
+                self.stats.threads_finished += 1
+                return
+            if request is None:
+                # Preemption point: keep running within the timeslice.
+                if self.core_model.cycles - task.slice_started_at >= timeslice:
+                    self.stats.preemptions += 1
+                    task.thread.state = ThreadState.READY
+                    return
+                continue
+            kind, arg = request
+            if kind == "sleep":
+                task.wake_at = self.core_model.cycles + int(arg)
+                task.thread.state = ThreadState.BLOCKED
+                self.stats.voluntary_yields += 1
+                return
+            if kind == "block":
+                if arg():
+                    continue  # already satisfied
+                task.wake_when = arg
+                task.thread.state = ThreadState.BLOCKED
+                self.stats.voluntary_yields += 1
+                return
+            raise ValueError(f"unknown yield request {kind!r}")

@@ -1,0 +1,103 @@
+"""Virtualised sealing on top of the 3-bit architectural otype space.
+
+The stored otype field is tiny — seven sealed values per namespace
+(paper section 3.2.2) — so the RTOS bootstraps a *virtualised* sealing
+mechanism (paper footnote 5): a trusted service that owns one hardware
+data otype and multiplexes arbitrarily many software-defined seal types
+over it.
+
+A client mints a :class:`SealKey` (itself unforgeable — only this
+service constructs them) and can then wrap values into opaque
+:class:`SealedHandle` objects.  Handles can be passed freely across
+compartments; only a holder of the matching key can unwrap one, and
+tampering is impossible because the payload never leaves the service's
+private table — the handle names it by an index sealed with the
+hardware otype.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.capability import Capability
+from repro.capability.errors import OTypeFault, PermissionFault, TagFault
+from repro.capability.otypes import RTOS_DATA_OTYPES
+
+
+@dataclass(frozen=True)
+class SealKey:
+    """Authority over one virtual seal type.  Minted only by the service."""
+
+    type_name: str
+    key_id: int
+
+
+@dataclass(frozen=True)
+class SealedHandle:
+    """An opaque reference to a sealed value.
+
+    Architecturally this is a capability to the service's private table,
+    sealed with the allocator-token hardware otype; here we carry the
+    sealed capability alongside the table index it encodes.
+    """
+
+    sealed_cap: Capability
+    index: int
+
+
+class SealingService:
+    """The RTOS compartment that virtualises the otype space."""
+
+    def __init__(self, sealing_root: Capability, table_cap: Capability) -> None:
+        """``sealing_root`` must cover the allocator-token otype;
+
+        ``table_cap`` is a private data capability used as the basis of
+        handle capabilities (one table slot per sealed value)."""
+        self._seal_authority = sealing_root.set_address(
+            RTOS_DATA_OTYPES["allocator-token"]
+        )
+        self._table_cap = table_cap
+        self._next_key = 1
+        self._next_index = 0
+        self._table: Dict[int, Tuple[int, object]] = {}
+
+    def mint_key(self, type_name: str) -> SealKey:
+        """Create a new virtual seal type."""
+        key = SealKey(type_name, self._next_key)
+        self._next_key += 1
+        return key
+
+    def seal(self, key: SealKey, value: object) -> SealedHandle:
+        """Wrap ``value`` opaquely under ``key``."""
+        if not isinstance(key, SealKey) or key.key_id >= self._next_key:
+            raise PermissionFault("seal with a foreign or forged key")
+        index = self._next_index
+        self._next_index += 1
+        self._table[index] = (key.key_id, value)
+        slot_cap = self._table_cap.set_address(
+            self._table_cap.base + (index * 8) % max(self._table_cap.length, 8)
+        )
+        sealed = slot_cap.seal(self._seal_authority)
+        return SealedHandle(sealed, index)
+
+    def unseal(self, key: SealKey, handle: SealedHandle) -> object:
+        """Unwrap a handle; faults on key mismatch or tampering."""
+        if not isinstance(handle, SealedHandle):
+            raise TagFault("not a sealed handle")
+        if not handle.sealed_cap.tag or not handle.sealed_cap.is_sealed:
+            raise TagFault("handle capability invalid (tampered?)")
+        if handle.sealed_cap.otype != RTOS_DATA_OTYPES["allocator-token"]:
+            raise OTypeFault("handle sealed with the wrong hardware otype")
+        entry = self._table.get(handle.index)
+        if entry is None:
+            raise OTypeFault("handle names no sealed value")
+        key_id, value = entry
+        if not isinstance(key, SealKey) or key.key_id != key_id:
+            raise PermissionFault("unseal with the wrong key")
+        return value
+
+    def release(self, key: SealKey, handle: SealedHandle) -> None:
+        """Destroy a sealed value (the owner tearing down an object)."""
+        self.unseal(key, handle)  # validates ownership
+        del self._table[handle.index]

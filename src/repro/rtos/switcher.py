@@ -1,0 +1,304 @@
+"""The trusted compartment switcher (paper sections 2.6 and 5.2).
+
+The switcher is the security-critical RTOS primitive — a few hundred
+hand-written instructions — that implements cross-compartment procedure
+calls:
+
+1. validates and unseals the caller's import token (a sealed export
+   reference; forgeries fault),
+2. applies the export's interrupt posture (sentry semantics),
+3. *chops* the caller's stack: the callee receives a capability to only
+   the unused part below the caller's stack pointer, with SL so the
+   stack remains the only place local capabilities can be stored,
+4. zeroes the handed-over stack before entry and the callee-dirtied
+   part after return — bounded by the stack high-water mark when that
+   hardware is fitted (section 5.2.1), by the whole unused region when
+   not,
+5. clears non-argument registers so nothing leaks between mutually
+   distrusting compartments.
+
+Cycle costs are charged through the core model: the hand-written
+instruction counts for call and return paths plus the mechanistic cost
+of every byte zeroed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.capability import Capability, Permission
+from repro.capability.errors import CapabilityError, PermissionFault, SealedFault, TagFault
+from repro.capability.otypes import RTOS_DATA_OTYPES
+from repro.isa.csr import CSRFile
+from repro.isa.exceptions import Trap
+from repro.memory.bus import SystemBus
+from repro.pipeline.model import CoreModel
+from .compartment import Compartment, Export, ImportToken, InterruptPosture
+from .thread import Thread
+
+#: Hand-written instruction counts for the switcher paths.  The paper
+#: quotes "a little over 300 hand-written instructions" for all RTOS
+#: primitives; the call/return pair accounts for the bulk of them.
+CROSS_CALL_INSTRS = 95
+CROSS_RETURN_INSTRS = 85
+
+#: Fraction of switcher instructions that are memory operations
+#: (register spills, trusted-stack maintenance).
+SWITCHER_MEM_FRACTION = 0.35
+
+
+class CompartmentFault(Exception):
+    """A callee compartment faulted; the switcher contained it.
+
+    Compartmentalization limits the blast radius of a compromise
+    (section 2.2): a capability violation inside a callee unwinds that
+    call — the callee's stack is zeroed, the interrupt posture and
+    trusted stack are restored — and surfaces to the *caller* as this
+    controlled error, carrying no callee state beyond the cause.
+    """
+
+    def __init__(self, compartment: str, export: str, cause: Exception) -> None:
+        super().__init__(
+            f"compartment {compartment!r} faulted in {export!r}: "
+            f"{type(cause).__name__}: {cause}"
+        )
+        self.compartment = compartment
+        self.export = export
+        self.cause_type = type(cause).__name__
+
+
+@dataclass
+class SwitcherStats:
+    calls: int = 0
+    returns: int = 0
+    faults_contained: int = 0
+    bytes_zeroed: int = 0
+
+
+@dataclass
+class _Frame:
+    """One entry on the switcher's trusted stack."""
+
+    compartment: Compartment
+    sp_at_entry: int
+    interrupts_enabled: bool
+
+
+class CallContext:
+    """What an export's handler sees while running.
+
+    Provides the compartment-local facilities whose misuse the
+    architecture would trap: stack usage (drives the high-water mark),
+    capability stores to stack versus globals (SL enforcement), and
+    nested cross-compartment calls.
+    """
+
+    def __init__(
+        self,
+        switcher: "CompartmentSwitcher",
+        compartment: Compartment,
+        thread: Thread,
+        stack_cap: Capability,
+        args: tuple,
+    ) -> None:
+        self.switcher = switcher
+        self.compartment = compartment
+        self.thread = thread
+        self.stack_cap = stack_cap
+        self.args = args
+        self.sp = thread.sp
+
+    # -- stack ----------------------------------------------------------
+
+    def use_stack(self, nbytes: int) -> None:
+        """Push a frame of ``nbytes``: real stores, so the HWM moves."""
+        nbytes = (nbytes + 7) & ~7
+        if nbytes <= 0:
+            return
+        new_sp = self.sp - nbytes
+        if new_sp < self.thread.stack_region.base:
+            raise PermissionFault("stack overflow")
+        self.switcher.bus.fill(new_sp, nbytes, 0xAA)
+        self.switcher.csr.note_store(new_sp)
+        if self.switcher.core_model is not None:
+            self.switcher.core_model.charge(
+                self.switcher.core_model.zero_bytes_cycles(nbytes)
+            )
+        self.sp = new_sp
+        self.thread.sp = new_sp
+
+    def _stack_slot(self, offset: int) -> int:
+        """Address of 8-byte stack slot ``offset`` (slot 0 just below SP)."""
+        return (self.sp - 8 - offset) & ~7
+
+    def store_stack_cap(self, offset: int, cap: Capability) -> None:
+        """Store a capability into the live stack frame.
+
+        Allowed even for *local* capabilities because the stack
+        capability carries SL — this is the one sanctioned home for
+        ephemerally delegated references.
+        """
+        address = self._stack_slot(offset)
+        self.stack_cap.check_access(address, 8, (Permission.SD, Permission.MC))
+        # SL check: stack_cap has SL, so locals are fine.
+        self.switcher.bus.write_capability(address, cap)
+        self.switcher.csr.note_store(address)
+
+    def load_stack_cap(self, offset: int) -> Capability:
+        address = self._stack_slot(offset)
+        self.stack_cap.check_access(address, 8, (Permission.LD, Permission.MC))
+        return self.switcher.bus.read_capability(address)
+
+    # -- globals (SL enforcement lives in Compartment) ------------------
+
+    def store_global_cap(self, slot: str, cap: Capability) -> None:
+        self.compartment.store_global_cap(slot, cap)
+
+    def load_global_cap(self, slot: str) -> Capability:
+        return self.compartment.load_global_cap(slot)
+
+    # -- nested cross-compartment calls ---------------------------------
+
+    def call(self, compartment: str, export: str, *args):
+        """Call through one of this compartment's imports."""
+        token = self.compartment.get_import(compartment, export)
+        self.thread.sp = self.sp
+        try:
+            return self.switcher.call(self.thread, token, *args)
+        finally:
+            self.sp = self.thread.sp
+
+
+class CompartmentSwitcher:
+    """The trusted cross-compartment call/return path."""
+
+    def __init__(
+        self,
+        bus: SystemBus,
+        csr: CSRFile,
+        unseal_authority: Capability,
+        core_model: Optional[CoreModel] = None,
+    ) -> None:
+        self.bus = bus
+        self.csr = csr
+        self.core_model = core_model
+        self.unseal_authority = unseal_authority
+        self.stats = SwitcherStats()
+        self._compartments: Dict[str, Compartment] = {}
+        self._trusted_stack: List[_Frame] = []
+
+    # ------------------------------------------------------------------
+    # Registry (populated by the loader)
+    # ------------------------------------------------------------------
+
+    def register_compartment(self, compartment: Compartment) -> None:
+        if compartment.name in self._compartments:
+            raise ValueError(f"duplicate compartment {compartment.name!r}")
+        self._compartments[compartment.name] = compartment
+
+    def compartment(self, name: str) -> Compartment:
+        return self._compartments[name]
+
+    # ------------------------------------------------------------------
+    # Cost model
+    # ------------------------------------------------------------------
+
+    def _charge_instrs(self, count: int) -> None:
+        if self.core_model is None:
+            return
+        p = self.core_model.params
+        mem = int(count * SWITCHER_MEM_FRACTION)
+        self.core_model.charge((count - mem) + mem * p.store_cycles)
+
+    def _zero(self, base: int, top: int) -> None:
+        """Zero ``[base, top)`` of stack, functionally and in cycles."""
+        if top <= base:
+            return
+        self.bus.fill(base, top - base, 0)
+        self.stats.bytes_zeroed += top - base
+        if self.core_model is not None:
+            self.core_model.charge(self.core_model.zero_bytes_cycles(top - base))
+
+    def _zero_below_sp(self, thread: Thread) -> None:
+        """Clear the stack the next compartment must not see.
+
+        With the high-water-mark hardware this is ``[mshwm, sp)`` — only
+        what has actually been dirtied below the current pointer.
+        Without it, the switcher cannot know and must clear the entire
+        unused portion ``[stack_base, sp)`` (section 5.2.1).
+        """
+        sp = thread.sp
+        if self.csr.hwm_enabled:
+            low = max(self.csr.high_water_mark, thread.stack_region.base)
+            low = min(low, sp)
+        else:
+            low = thread.stack_region.base
+        self._zero(low, sp)
+        self.csr.reset_high_water_mark(sp)
+
+    # ------------------------------------------------------------------
+    # The call path
+    # ------------------------------------------------------------------
+
+    def _resolve_token(self, token: ImportToken) -> Export:
+        sealed = token.sealed_cap
+        if not sealed.tag:
+            raise TagFault("import token is untagged (forged?)")
+        if not sealed.is_sealed or sealed.otype != RTOS_DATA_OTYPES["compartment-export"]:
+            raise SealedFault("import token not sealed as a compartment export")
+        # Architectural unseal: faults if the authority does not cover
+        # the export otype.
+        sealed.unseal(self.unseal_authority.set_address(sealed.otype))
+        target = self._compartments.get(token.compartment_name)
+        if target is None:
+            raise KeyError(f"unknown compartment {token.compartment_name!r}")
+        return target.get_export(token.export_name)
+
+    def call(self, thread: Thread, token: ImportToken, *args):
+        """Cross-compartment call: the full trusted sequence."""
+        export = self._resolve_token(token)
+        target = self._compartments[token.compartment_name]
+        self.stats.calls += 1
+        self._charge_instrs(CROSS_CALL_INSTRS + export.veneer_instructions)
+
+        saved_posture = self.csr.interrupts_enabled
+        if export.posture == InterruptPosture.DISABLED:
+            self.csr.interrupts_enabled = False
+        elif export.posture == InterruptPosture.ENABLED:
+            self.csr.interrupts_enabled = True
+
+        # Clear anything dirty below the caller's SP, then chop the stack.
+        self._zero_below_sp(thread)
+        sp = thread.sp & ~0xF
+        callee_stack = thread.stack_cap.set_address(
+            thread.stack_region.base
+        ).set_bounds(sp - thread.stack_region.base)
+        frame = _Frame(target, sp, saved_posture)
+        self._trusted_stack.append(frame)
+
+        context = CallContext(self, target, thread, callee_stack, args)
+        try:
+            result = export.handler(context, *args)
+        except (CapabilityError, Trap) as fault:
+            # The callee violated the architecture: contain it.  The
+            # finally-block unwind below still runs (stack zeroed,
+            # posture restored); the caller sees a controlled error.
+            self.stats.faults_contained += 1
+            raise CompartmentFault(
+                token.compartment_name, token.export_name, fault
+            ) from fault
+        finally:
+            self._trusted_stack.pop()
+            # Return path: zero exactly what the callee dirtied (HWM) or
+            # the whole handed-over region (no HWM), restore SP/posture.
+            thread.sp = frame.sp_at_entry
+            self._zero_below_sp(thread)
+            self.csr.interrupts_enabled = frame.interrupts_enabled
+            self.stats.returns += 1
+            self._charge_instrs(CROSS_RETURN_INSTRS)
+        return result
+
+    @property
+    def call_depth(self) -> int:
+        return len(self._trusted_stack)

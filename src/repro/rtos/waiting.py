@@ -1,0 +1,79 @@
+"""Blocked-wait accounting for hardware revocation passes.
+
+When the allocator starts the background revoker and must wait for the
+pass to finish (e.g. the 128 KiB benchmark reuses every byte, so every
+allocation blocks on revocation), the CPU cycles consumed depend on the
+core's quality of implementation (paper section 7.2.2):
+
+* **CHERIoT-Ibex** (production) raises an interrupt on completion: the
+  waiting thread blocks, the scheduler runs the idle thread, and timer
+  ticks cause periodic reschedules whose context-switch cost includes
+  the two extra HWM CSRs — the effect the paper observes making the
+  128 KiB Hardware+(S) case *slower* on Ibex.
+* **Flute** (prototype) raises no interrupt, so the RTOS wakes the
+  blocking thread periodically to poll the epoch register.  Each poll
+  performs a flurry of memory accesses which take precedence over the
+  revoker's and slow the sweep itself down — the tail-off visible in
+  the paper's Figure 5 Hardware series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .scheduler import Scheduler
+
+#: Instructions executed by one wake-and-poll of the epoch register.
+POLL_INSTRS = 40
+#: Bus beats a poll's memory accesses steal from the revoker (they take
+#: precedence over the background engine's accesses).
+POLL_STOLEN_BEATS = 96
+
+
+@dataclass
+class WaitStats:
+    waits: int = 0
+    polls: int = 0
+    wall_cycles: int = 0
+    charged_cycles: int = 0
+
+
+def make_hardware_wait_policy(
+    scheduler: Scheduler,
+    completion_interrupt: bool,
+    stats: "WaitStats | None" = None,
+) -> Callable[[int], int]:
+    """Build the heap's ``wait_policy`` for a blocked revocation pass.
+
+    The returned callable maps the revoker's raw wall-clock cycles to
+    the CPU cycles actually charged while the allocating thread waits.
+    """
+    wait_stats = stats if stats is not None else WaitStats()
+
+    def policy(wall_cycles: int) -> int:
+        if wall_cycles <= 0:
+            return 0
+        wait_stats.waits += 1
+        tick = max(1, scheduler.timeslice_cycles)
+        ticks = (wall_cycles + tick - 1) // tick
+        switch_cost = scheduler.context_switch_cost()
+        if completion_interrupt:
+            # Block, idle, periodic timer reschedules, one wake at the end.
+            charged = wall_cycles + ticks * switch_cost + 2 * switch_cost
+            scheduler.stats.context_switches += ticks + 2
+        else:
+            # Poll-driven wait: each tick wakes the blocked thread
+            # (switch in + out), polls the epoch register, and the
+            # poll's memory traffic slows the revoker itself.
+            wall_cycles = wall_cycles + ticks * POLL_STOLEN_BEATS
+            ticks = (wall_cycles + tick - 1) // tick
+            wait_stats.polls += ticks
+            charged = wall_cycles + ticks * (2 * switch_cost + POLL_INSTRS)
+            scheduler.stats.context_switches += 2 * ticks
+        wait_stats.wall_cycles += wall_cycles
+        wait_stats.charged_cycles += charged
+        return charged
+
+    policy.stats = wait_stats  # type: ignore[attr-defined]
+    return policy

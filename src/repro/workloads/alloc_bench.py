@@ -1,0 +1,158 @@
+"""The allocation microbenchmark (paper Table 4, Figures 5 and 6).
+
+The benchmark allocates and frees a total of 1 MiB of heap memory at
+allocation sizes from 32 bytes to 128 KiB, through cross-compartment
+calls into the allocator compartment, under four configurations:
+
+* **Baseline** — no temporal safety at all (spatial safety only; no
+  revocation bitmap, so also vulnerable to interior-pointer frees —
+  the paper's footnote 8);
+* **Metadata** — revocation bits updated on free, but no sweeps;
+* **Software** — full quarantine with the software sweeping revoker;
+* **Hardware** — full quarantine with the background hardware revoker.
+
+Each configuration runs with and without the stack high-water mark
+(the ``(S)`` variants).  Results are mechanistic cycle counts from the
+core models; overheads relative to Baseline reproduce the shapes of
+Figures 5 (Flute) and 6 (Ibex).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.allocator import TemporalSafetyMode
+from repro.machine import System
+from repro.pipeline import CoreKind
+
+#: Total bytes allocated+freed per run (the paper's 1 MiB).
+TOTAL_BYTES = 1 << 20
+#: The paper's allocation size sweep: 32 B to 128 KiB, doubling.
+ALLOCATION_SIZES = tuple(32 << i for i in range(13))
+
+#: Configuration order as presented in Table 4.
+CONFIGURATIONS = (
+    TemporalSafetyMode.BASELINE,
+    TemporalSafetyMode.METADATA,
+    TemporalSafetyMode.SOFTWARE,
+    TemporalSafetyMode.HARDWARE,
+)
+
+
+@dataclass(frozen=True)
+class AllocBenchResult:
+    """One cell of Table 4."""
+
+    core: CoreKind
+    mode: TemporalSafetyMode
+    hwm: bool
+    allocation_size: int
+    iterations: int
+    cycles: int
+    revocation_passes: int
+
+    @property
+    def label(self) -> str:
+        suffix = " (S)" if self.hwm else ""
+        return f"{self.mode.value.capitalize()}{suffix}"
+
+    @property
+    def cycles_per_iteration(self) -> float:
+        return self.cycles / max(1, self.iterations)
+
+
+def run_alloc_bench(
+    core: CoreKind,
+    mode: TemporalSafetyMode,
+    hwm: bool,
+    allocation_size: int,
+    total_bytes: int = TOTAL_BYTES,
+) -> AllocBenchResult:
+    """Run one configuration cell: alloc/free ``total_bytes`` worth.
+
+    Every ``malloc``/``free`` is a cross-compartment call from the main
+    thread into the allocator compartment, so the measured cycles
+    include the switcher, stack zeroing (HWM-bounded or not), allocator
+    work, revocation-bit painting, freed-memory zeroing and any
+    revocation sweeps the configuration triggers.
+    """
+    system = System.build(core=core, mode=mode, hwm_enabled=hwm)
+    iterations = max(1, total_bytes // allocation_size)
+    system.reset_cycles()
+    passes_before = system.allocator.stats.revocation_passes
+    for _ in range(iterations):
+        cap = system.malloc(allocation_size)
+        system.free(cap)
+    return AllocBenchResult(
+        core=core,
+        mode=mode,
+        hwm=hwm,
+        allocation_size=allocation_size,
+        iterations=iterations,
+        cycles=system.core_model.cycles,
+        revocation_passes=system.allocator.stats.revocation_passes - passes_before,
+    )
+
+
+def table4(
+    core: CoreKind,
+    sizes: Iterable[int] = ALLOCATION_SIZES,
+    total_bytes: int = TOTAL_BYTES,
+    hwm_variants: Tuple[bool, ...] = (False, True),
+) -> List[AllocBenchResult]:
+    """All Table 4 cells for one core."""
+    results = []
+    for size in sizes:
+        for mode in CONFIGURATIONS:
+            for hwm in hwm_variants:
+                results.append(
+                    run_alloc_bench(core, mode, hwm, size, total_bytes)
+                )
+    return results
+
+
+def overhead_series(
+    results: List[AllocBenchResult],
+) -> "Dict[str, List[Tuple[int, float]]]":
+    """Figures 5/6: per-configuration overhead relative to Baseline.
+
+    Returns ``{config_label: [(size, overhead_ratio), ...]}`` where
+    overhead_ratio is ``cycles / baseline_cycles`` at the same size
+    (baseline = no temporal safety, no HWM).
+    """
+    baseline: Dict[int, int] = {}
+    for result in results:
+        if result.mode is TemporalSafetyMode.BASELINE and not result.hwm:
+            baseline[result.allocation_size] = result.cycles
+    series: Dict[str, List[Tuple[int, float]]] = {}
+    for result in results:
+        base = baseline.get(result.allocation_size)
+        if base is None or base == 0:
+            continue
+        series.setdefault(result.label, []).append(
+            (result.allocation_size, result.cycles / base)
+        )
+    for values in series.values():
+        values.sort()
+    return series
+
+
+def format_table4(results: List[AllocBenchResult]) -> str:
+    """Render one core's results as the paper's table shape."""
+    sizes = sorted({r.allocation_size for r in results})
+    labels: List[str] = []
+    for r in results:
+        if r.label not in labels:
+            labels.append(r.label)
+    by_key = {(r.label, r.allocation_size): r for r in results}
+    header = f"{'Size':>8s} | " + " | ".join(f"{label:>14s}" for label in labels)
+    lines = [header, "-" * len(header)]
+    for size in sizes:
+        cells = []
+        for label in labels:
+            result = by_key.get((label, size))
+            cells.append(f"{result.cycles:>14,}" if result else f"{'-':>14s}")
+        size_label = f"{size}B" if size < 1024 else f"{size // 1024}KiB"
+        lines.append(f"{size_label:>8s} | " + " | ".join(cells))
+    return "\n".join(lines)

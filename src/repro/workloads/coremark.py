@@ -1,0 +1,616 @@
+"""A CoreMark workalike for the ISA simulator (paper Table 3).
+
+EEMBC CoreMark exercises three kernels — linked-list processing, matrix
+multiplication, and a CRC-checked state machine — and reports iterations
+per second per MHz.  This module builds the same three kernels in the
+mini-compiler IR, lowers them for rv32e or CHERIoT, runs them on the
+functional simulator under a core timing model, and reports score and
+overhead.
+
+The kernels deliberately preserve what makes CoreMark sensitive to the
+CHERIoT changes the paper discusses: the list kernel is pointer-chasing
+(every ``next`` is a capability load through the load filter), the
+matrix kernel is address-computation heavy (hit by the constant-folding
+compiler bug), and the state machine reads globals (hit by the
+redundant-bounds compiler bug).
+
+Absolute CoreMark scores are meaningless for a workalike subset, so the
+benchmark reports *iterations per megacycle* plus a per-core calibration
+constant that maps the RV32E baseline onto the paper's score; the
+overheads — the paper's actual claim — emerge from the mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.capability import Capability, Permission, make_roots
+from repro.cc import ir
+from repro.cc.lower import Target, compile_module
+from repro.isa import CPU, ExecutionMode, LoadFilter, assemble
+from repro.memory import RevocationMap, SystemBus, TaggedMemory, default_memory_map
+from repro.pipeline import CoreKind, make_core_model
+
+#: Linked-list length (nodes).
+LIST_NODES = 64
+#: Matrix dimension (n x n of 32-bit ints).
+MATRIX_N = 6
+#: Input length for the state-machine kernel (bytes).
+INPUT_LEN = 48
+
+
+def _node_layout(ptr_size: int) -> "tuple[int, int, int]":
+    """(next_offset, data_offset, stride) for the list node struct."""
+    next_off = 0
+    data_off = ptr_size
+    stride = (ptr_size + 4 + 7) & ~7  # 8 on rv32e, 16 on cheriot
+    return next_off, data_off, stride
+
+
+def build_coremark_module(ptr_size: int) -> ir.Module:
+    """Build the three-kernel module for a target pointer size."""
+    next_off, data_off, stride = _node_layout(ptr_size)
+    module = ir.Module()
+    module.add_global("nodes", LIST_NODES * stride)
+    module.add_global("mat_a", MATRIX_N * MATRIX_N * 4)
+    module.add_global("mat_b", MATRIX_N * MATRIX_N * 4)
+    module.add_global("mat_c", MATRIX_N * MATRIX_N * 4)
+    module.add_global("input", INPUT_LEN)
+    module.add_global("results", 16)
+
+    V, C, B = ir.Var, ir.Const, ir.BinOp
+
+    # -- crc16: the bit-serial update CoreMark applies to results -------
+    crc = ir.Function(
+        "crc16",
+        params=[ir.Param("data", ir.INT), ir.Param("crc", ir.INT)],
+        locals={"i": ir.INT, "x": ir.INT},
+    )
+    crc.body = [
+        ir.Assign("i", C(0)),
+        ir.While(
+            B("<", V("i"), C(8)),
+            (
+                ir.Assign("x", B("^", V("crc"), V("data"))),
+                ir.Assign("x", B("&", V("x"), C(1))),
+                ir.Assign("crc", B(">>", V("crc"), C(1))),
+                ir.If(
+                    B("!=", V("x"), C(0)),
+                    (ir.Assign("crc", B("^", V("crc"), C(0xA001))),),
+                ),
+                ir.Assign("data", B(">>", V("data"), C(1))),
+                ir.Assign("i", B("+", V("i"), C(1))),
+            ),
+        ),
+        ir.Return(V("crc")),
+    ]
+    module.add_function(crc)
+
+    # -- list_init: build the chain and seed the data fields ------------
+    list_init = ir.Function(
+        "list_init",
+        locals={"i": ir.INT, "p": ir.PTR, "nxt": ir.PTR},
+    )
+    list_init.body = [
+        ir.Assign("i", C(0)),
+        ir.While(
+            B("<", V("i"), C(LIST_NODES)),
+            (
+                ir.Assign(
+                    "p",
+                    ir.PtrAdd(ir.GlobalRef("nodes"), B("*", V("i"), C(stride))),
+                ),
+                ir.Store(V("p"), B("&", B("*", V("i"), C(7)), C(0xFF)), data_off),
+                ir.If(
+                    B("<", V("i"), C(LIST_NODES - 1)),
+                    (
+                        ir.Assign(
+                            "nxt",
+                            ir.PtrAdd(
+                                ir.GlobalRef("nodes"),
+                                B("*", B("+", V("i"), C(1)), C(stride)),
+                            ),
+                        ),
+                        ir.StorePtr(V("p"), V("nxt"), next_off),
+                    ),
+                    (ir.StorePtr(V("p"), C(0), next_off),),
+                ),
+                ir.Assign("i", B("+", V("i"), C(1))),
+            ),
+        ),
+        ir.Return(),
+    ]
+    module.add_function(list_init)
+
+    # -- list_search: pointer-chase for a value, CRC the path length ----
+    list_search = ir.Function(
+        "list_search",
+        params=[ir.Param("value", ir.INT)],
+        locals={"p": ir.PTR, "steps": ir.INT, "d": ir.INT},
+    )
+    list_search.body = [
+        ir.Assign("p", ir.GlobalRef("nodes")),
+        ir.Assign("steps", C(0)),
+        ir.While(
+            B("!=", V("p"), C(0)),
+            (
+                ir.Assign("d", ir.Load(V("p"), data_off)),
+                ir.If(B("==", V("d"), V("value")), (ir.Return(V("steps")),)),
+                ir.Assign("p", ir.Load(V("p"), next_off, as_ptr=True)),
+                ir.Assign("steps", B("+", V("steps"), C(1))),
+            ),
+        ),
+        ir.Return(V("steps")),
+    ]
+    module.add_function(list_search)
+
+    # -- list_sum: full chase accumulating data ------------------------
+    list_sum = ir.Function(
+        "list_sum", locals={"p": ir.PTR, "acc": ir.INT}
+    )
+    list_sum.body = [
+        ir.Assign("p", ir.GlobalRef("nodes")),
+        ir.Assign("acc", C(0)),
+        ir.While(
+            B("!=", V("p"), C(0)),
+            (
+                ir.Assign("acc", B("+", V("acc"), ir.Load(V("p"), data_off))),
+                ir.Assign("p", ir.Load(V("p"), next_off, as_ptr=True)),
+            ),
+        ),
+        ir.Return(V("acc")),
+    ]
+    module.add_function(list_sum)
+
+    # -- mat_init / matmul ---------------------------------------------
+    mat_init = ir.Function("mat_init", locals={"i": ir.INT, "p": ir.PTR})
+    mat_init.body = [
+        ir.Assign("i", C(0)),
+        ir.While(
+            B("<", V("i"), C(MATRIX_N * MATRIX_N)),
+            (
+                ir.Assign(
+                    "p", ir.PtrAdd(ir.GlobalRef("mat_a"), B("*", V("i"), C(4)))
+                ),
+                ir.Store(V("p"), B("+", V("i"), C(1))),
+                ir.Assign(
+                    "p", ir.PtrAdd(ir.GlobalRef("mat_b"), B("*", V("i"), C(4)))
+                ),
+                ir.Store(V("p"), B("^", V("i"), C(5))),
+                ir.Assign("i", B("+", V("i"), C(1))),
+            ),
+        ),
+        ir.Return(),
+    ]
+    module.add_function(mat_init)
+
+    matmul = ir.Function(
+        "matmul",
+        locals={
+            "i": ir.INT,
+            "j": ir.INT,
+            "k": ir.INT,
+            "acc": ir.INT,
+            "pa": ir.PTR,
+            "pb": ir.PTR,
+            "pc": ir.PTR,
+        },
+    )
+    n = MATRIX_N
+    matmul.body = [
+        ir.Assign("i", C(0)),
+        ir.While(
+            B("<", V("i"), C(n)),
+            (
+                ir.Assign("j", C(0)),
+                ir.While(
+                    B("<", V("j"), C(n)),
+                    (
+                        ir.Assign("acc", C(0)),
+                        ir.Assign("k", C(0)),
+                        ir.While(
+                            B("<", V("k"), C(n)),
+                            (
+                                ir.Assign(
+                                    "pa",
+                                    ir.PtrAdd(
+                                        ir.GlobalRef("mat_a"),
+                                        B(
+                                            "*",
+                                            B("+", B("*", V("i"), C(n)), V("k")),
+                                            C(4),
+                                        ),
+                                    ),
+                                ),
+                                ir.Assign(
+                                    "pb",
+                                    ir.PtrAdd(
+                                        ir.GlobalRef("mat_b"),
+                                        B(
+                                            "*",
+                                            B("+", B("*", V("k"), C(n)), V("j")),
+                                            C(4),
+                                        ),
+                                    ),
+                                ),
+                                ir.Assign(
+                                    "acc",
+                                    B(
+                                        "+",
+                                        V("acc"),
+                                        B("*", ir.Load(V("pa")), ir.Load(V("pb"))),
+                                    ),
+                                ),
+                                ir.Assign("k", B("+", V("k"), C(1))),
+                            ),
+                        ),
+                        ir.Assign(
+                            "pc",
+                            ir.PtrAdd(
+                                ir.GlobalRef("mat_c"),
+                                B("*", B("+", B("*", V("i"), C(n)), V("j")), C(4)),
+                            ),
+                        ),
+                        ir.Store(V("pc"), V("acc")),
+                        ir.Assign("j", B("+", V("j"), C(1))),
+                    ),
+                ),
+                ir.Assign("i", B("+", V("i"), C(1))),
+            ),
+        ),
+        ir.Return(),
+    ]
+    module.add_function(matmul)
+
+    # -- state machine: scan input bytes, classify, count transitions --
+    str_init = ir.Function("str_init", locals={"i": ir.INT, "p": ir.PTR})
+    str_init.body = [
+        ir.Assign("i", C(0)),
+        ir.While(
+            B("<", V("i"), C(INPUT_LEN)),
+            (
+                ir.Assign("p", ir.PtrAdd(ir.GlobalRef("input"), V("i"))),
+                ir.Store(
+                    V("p"),
+                    B("+", C(0x30), B("%", B("*", V("i"), C(7)), C(12))),
+                    0,
+                    1,
+                ),
+                ir.Assign("i", B("+", V("i"), C(1))),
+            ),
+        ),
+        ir.Return(),
+    ]
+    module.add_function(str_init)
+
+    state_machine = ir.Function(
+        "state_machine",
+        locals={"i": ir.INT, "c": ir.INT, "state": ir.INT, "count": ir.INT, "p": ir.PTR},
+    )
+    state_machine.body = [
+        ir.Assign("i", C(0)),
+        ir.Assign("state", C(0)),
+        ir.Assign("count", C(0)),
+        ir.While(
+            B("<", V("i"), C(INPUT_LEN)),
+            (
+                ir.Assign("p", ir.PtrAdd(ir.GlobalRef("input"), V("i"))),
+                ir.Assign("c", ir.Load(V("p"), 0, 1)),
+                # digits 0-9 -> state 1; '+'/'-' (we use ':' ';') -> 2; else 0
+                ir.If(
+                    B("<=", V("c"), C(0x39)),
+                    (
+                        ir.If(
+                            B(">=", V("c"), C(0x30)),
+                            (
+                                ir.If(
+                                    B("!=", V("state"), C(1)),
+                                    (
+                                        ir.Assign("count", B("+", V("count"), C(1))),
+                                        ir.Assign("state", C(1)),
+                                    ),
+                                ),
+                            ),
+                            (ir.Assign("state", C(0)),),
+                        ),
+                    ),
+                    (
+                        ir.If(
+                            B("==", V("state"), C(1)),
+                            (ir.Assign("state", C(2)),),
+                            (ir.Assign("state", C(0)),),
+                        ),
+                    ),
+                ),
+                ir.Assign("i", B("+", V("i"), C(1))),
+            ),
+        ),
+        ir.Return(V("count")),
+    ]
+    module.add_function(state_machine)
+
+    # -- one benchmark iteration ----------------------------------------
+    iteration = ir.Function(
+        "coremark_iteration",
+        locals={"crc": ir.INT, "r": ir.INT},
+    )
+    iteration.body = [
+        ir.Assign("r", ir.CallExpr("list_search", (C(14),))),
+        ir.Assign("crc", ir.CallExpr("crc16", (V("r"), C(0xFFFF)))),
+        ir.Assign("r", ir.CallExpr("list_search", (C(3),))),
+        ir.Assign("crc", ir.CallExpr("crc16", (V("r"), V("crc")))),
+        ir.Assign("r", ir.CallExpr("list_search", (C(250),))),
+        ir.Assign("crc", ir.CallExpr("crc16", (V("r"), V("crc")))),
+        ir.Assign("r", ir.CallExpr("list_sum", ())),
+        ir.Assign("crc", ir.CallExpr("crc16", (V("r"), V("crc")))),
+        ir.Assign("r", ir.CallExpr("list_sum", ())),
+        ir.Assign("crc", ir.CallExpr("crc16", (V("r"), V("crc")))),
+        ir.ExprStmt(ir.CallExpr("matmul", ())),
+        ir.Assign(
+            "r",
+            ir.Load(ir.PtrAdd(ir.GlobalRef("mat_c"), C(4 * (MATRIX_N + 1)))),
+        ),
+        ir.Assign("crc", ir.CallExpr("crc16", (V("r"), V("crc")))),
+        ir.Assign("r", ir.CallExpr("state_machine", ())),
+        ir.Assign("crc", ir.CallExpr("crc16", (V("r"), V("crc")))),
+        ir.Store(ir.GlobalRef("results"), V("crc")),
+        ir.Return(V("crc")),
+    ]
+    module.add_function(iteration)
+
+    return module
+
+
+_DRIVER = """
+_start:
+    jal ra, list_init
+    jal ra, mat_init
+    jal ra, str_init
+    li s0, {iterations}
+_bench_loop:
+    jal ra, coremark_iteration
+    addi s0, s0, -1
+    bnez s0, _bench_loop
+    halt
+"""
+
+
+@dataclass
+class CoreMarkResult:
+    """One configuration's outcome."""
+
+    core: CoreKind
+    config: str  # "rv32e" | "cheriot" | "cheriot+filter"
+    iterations: int
+    cycles: int
+    instructions: int
+    crc: int
+
+    @property
+    def iterations_per_megacycle(self) -> float:
+        return self.iterations / (self.cycles / 1e6)
+
+
+def run_coremark(
+    core: CoreKind,
+    config: str,
+    iterations: int = 2,
+    fixed_compiler: bool = False,
+    optimize: bool = False,
+) -> CoreMarkResult:
+    """Run the workalike under one of Table 3's configurations.
+
+    ``config`` is one of ``rv32e`` (integer pointers, no capabilities),
+    ``cheriot`` (capabilities, load filter disabled), or
+    ``cheriot+filter`` (capabilities with the load filter engaged).
+    """
+    if config not in ("rv32e", "cheriot", "cheriot+filter"):
+        raise ValueError(f"unknown config {config!r}")
+    cheriot = config != "rv32e"
+    mm = default_memory_map()
+    bus = SystemBus()
+    bus.attach_sram(TaggedMemory(mm.code.base, mm.sram_bytes))
+    rmap = RevocationMap(mm.heap.base, mm.heap.size)
+
+    target = Target.CHERIOT if cheriot else Target.RV32E
+    ptr_size = 8 if cheriot else 4
+    module = build_coremark_module(ptr_size)
+    compiled = compile_module(
+        module,
+        target,
+        fixed_compiler=fixed_compiler,
+        data_base=mm.globals_.base,
+        optimize=optimize,
+    )
+    source = compiled.assembly + _DRIVER.format(iterations=iterations)
+    program = assemble(source, name=f"coremark-{config}")
+
+    core_model = make_core_model(core, load_filter_enabled=(config == "cheriot+filter"))
+    load_filter = LoadFilter(rmap) if config == "cheriot+filter" else None
+    cpu = CPU(
+        bus,
+        mode=ExecutionMode.CHERIOT if cheriot else ExecutionMode.RV32E,
+        load_filter=load_filter,
+        timing=core_model,
+    )
+
+    stack_top = mm.stacks.top
+    if cheriot:
+        roots = make_roots()
+        pcc = roots.executable
+        cpu.load_program(program, mm.code.base, pcc=pcc, entry="_start")
+        stack_cap = (
+            roots.memory.set_address(mm.stacks.base)
+            .set_bounds(mm.stacks.size)
+            .set_address(stack_top - 8)
+            .clear_perms(Permission.GL)
+        )
+        gp_cap = roots.memory.set_address(mm.globals_.base).set_bounds(
+            mm.globals_.size
+        )
+        cpu.regs.write(2, stack_cap)  # csp
+        cpu.regs.write(3, gp_cap)  # cgp
+    else:
+        cpu.load_program(program, mm.code.base, entry="_start")
+        cpu.regs.write_int(2, stack_top - 8)
+        cpu.regs.write_int(3, mm.globals_.base)
+
+    stats = cpu.run(max_steps=50_000_000)
+    return CoreMarkResult(
+        core=core,
+        config=config,
+        iterations=iterations,
+        cycles=core_model.cycles,
+        instructions=stats.instructions,
+        crc=cpu.regs.read_int(10),
+    )
+
+
+#: The paper's Table 3 baseline scores, used only to place our relative
+#: results on the paper's absolute scale (CoreMark/MHz).
+PAPER_BASELINE_SCORE = {CoreKind.FLUTE: 2.017, CoreKind.IBEX: 2.086}
+PAPER_TABLE3 = {
+    (CoreKind.FLUTE, "rv32e"): 2.017,
+    (CoreKind.FLUTE, "cheriot"): 1.892,
+    (CoreKind.FLUTE, "cheriot+filter"): 1.892,
+    (CoreKind.IBEX, "rv32e"): 2.086,
+    (CoreKind.IBEX, "cheriot"): 1.811,
+    (CoreKind.IBEX, "cheriot+filter"): 1.624,
+}
+
+
+def table3(iterations: int = 2) -> "list[dict]":
+    """Regenerate Table 3: both cores, all three configurations.
+
+    Returns one row per (core, config) with raw and scaled scores plus
+    the overhead relative to the same core's rv32e baseline.
+    """
+    rows = []
+    for core in (CoreKind.FLUTE, CoreKind.IBEX):
+        base = run_coremark(core, "rv32e", iterations)
+        scale = PAPER_BASELINE_SCORE[core] / base.iterations_per_megacycle
+        for config in ("rv32e", "cheriot", "cheriot+filter"):
+            result = (
+                base if config == "rv32e" else run_coremark(core, config, iterations)
+            )
+            raw = result.iterations_per_megacycle
+            overhead = (base.cycles and (result.cycles - base.cycles) / base.cycles)
+            rows.append(
+                {
+                    "core": core.value,
+                    "config": config,
+                    "cycles": result.cycles,
+                    "instructions": result.instructions,
+                    "score_raw": raw,
+                    "score_scaled": raw * scale,
+                    "overhead_pct": 100.0 * overhead,
+                    "paper_score": PAPER_TABLE3[(core, config)],
+                    "crc": result.crc,
+                }
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Per-kernel profiling
+# ---------------------------------------------------------------------------
+
+_KERNEL_DRIVERS = {
+    "list": """
+_start:
+    jal ra, list_init
+    li s0, {iterations}
+_bench_loop:
+    li a0, 3
+    jal ra, list_search
+    jal ra, list_sum
+    addi s0, s0, -1
+    bnez s0, _bench_loop
+    halt
+""",
+    "matrix": """
+_start:
+    jal ra, mat_init
+    li s0, {iterations}
+_bench_loop:
+    jal ra, matmul
+    addi s0, s0, -1
+    bnez s0, _bench_loop
+    halt
+""",
+    "state": """
+_start:
+    jal ra, str_init
+    li s0, {iterations}
+_bench_loop:
+    jal ra, state_machine
+    addi s0, s0, -1
+    bnez s0, _bench_loop
+    halt
+""",
+}
+
+
+def run_kernel_profile(
+    core: CoreKind, config: str, iterations: int = 2
+) -> "dict[str, int]":
+    """Per-kernel cycle counts for one configuration.
+
+    The paper attributes the CHERIoT overheads to specific kernels (the
+    pointer-chasing list code suffers the load filter; address-heavy
+    matrix code suffers the folding bug); this breakdown makes that
+    attribution measurable.
+    """
+    if config not in ("rv32e", "cheriot", "cheriot+filter"):
+        raise ValueError(f"unknown config {config!r}")
+    cheriot = config != "rv32e"
+    results = {}
+    for kernel, driver in _KERNEL_DRIVERS.items():
+        mm = default_memory_map()
+        bus = SystemBus()
+        bus.attach_sram(TaggedMemory(mm.code.base, mm.sram_bytes))
+        rmap = RevocationMap(mm.heap.base, mm.heap.size)
+        module = build_coremark_module(8 if cheriot else 4)
+        compiled = compile_module(
+            module,
+            Target.CHERIOT if cheriot else Target.RV32E,
+            data_base=mm.globals_.base,
+        )
+        program = assemble(
+            compiled.assembly + driver.format(iterations=iterations),
+            name=f"coremark-{kernel}-{config}",
+        )
+        core_model = make_core_model(
+            core, load_filter_enabled=(config == "cheriot+filter")
+        )
+        cpu = CPU(
+            bus,
+            mode=ExecutionMode.CHERIOT if cheriot else ExecutionMode.RV32E,
+            load_filter=LoadFilter(rmap) if config == "cheriot+filter" else None,
+            timing=core_model,
+        )
+        stack_top = mm.stacks.top
+        if cheriot:
+            roots = make_roots()
+            cpu.load_program(program, mm.code.base, pcc=roots.executable,
+                             entry="_start")
+            cpu.regs.write(
+                2,
+                roots.memory.set_address(mm.stacks.base)
+                .set_bounds(mm.stacks.size)
+                .set_address(stack_top - 8)
+                .clear_perms(Permission.GL),
+            )
+            cpu.regs.write(
+                3, roots.memory.set_address(mm.globals_.base).set_bounds(
+                    mm.globals_.size
+                )
+            )
+        else:
+            cpu.load_program(program, mm.code.base, entry="_start")
+            cpu.regs.write_int(2, stack_top - 8)
+            cpu.regs.write_int(3, mm.globals_.base)
+        cpu.run(max_steps=50_000_000)
+        results[kernel] = core_model.cycles
+    return results

@@ -1,0 +1,287 @@
+"""A small suite of compiled validation kernels (Embench-flavoured).
+
+Beyond the CoreMark workalike, these kernels exist to validate the mini
+compiler and the two ISAs against each other: every kernel has a pure-
+Python oracle, and the test suite requires the simulated result to
+match the oracle on **both** targets, with and without the compiler-bug
+modelling — any divergence in codegen, capability semantics, or the
+executor shows up as a wrong answer, not a vague slowdown.
+
+Each builder returns ``(module, entry, args, oracle_result)``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.cc import ir
+
+V, C, B = ir.Var, ir.Const, ir.BinOp
+
+KernelSpec = Tuple[ir.Module, str, tuple, int]
+
+
+def crc32_kernel(data: bytes = b"CHERIoT: complete memory safety") -> KernelSpec:
+    """Bit-serial CRC-32 (poly 0xEDB88320) over a global byte string."""
+    module = ir.Module()
+    module.add_global("data", max(8, (len(data) + 7) & ~7), bytes(data))
+
+    fn = ir.Function(
+        "crc32",
+        params=[ir.Param("length", ir.INT)],
+        locals={"crc": ir.INT, "i": ir.INT, "j": ir.INT, "c": ir.INT,
+                "p": ir.PTR, "bit": ir.INT},
+    )
+    fn.body = [
+        ir.Assign("crc", C(0xFFFFFFFF)),
+        ir.Assign("i", C(0)),
+        ir.While(
+            B("<", V("i"), V("length")),
+            (
+                ir.Assign("p", ir.PtrAdd(ir.GlobalRef("data"), V("i"))),
+                ir.Assign("c", ir.Load(V("p"), 0, 1)),
+                ir.Assign("crc", B("^", V("crc"), V("c"))),
+                ir.Assign("j", C(0)),
+                ir.While(
+                    B("<", V("j"), C(8)),
+                    (
+                        ir.Assign("bit", B("&", V("crc"), C(1))),
+                        ir.Assign("crc", B(">>", V("crc"), C(1))),
+                        ir.If(
+                            B("!=", V("bit"), C(0)),
+                            (ir.Assign("crc", B("^", V("crc"), C(0xEDB88320))),),
+                        ),
+                        ir.Assign("j", B("+", V("j"), C(1))),
+                    ),
+                ),
+                ir.Assign("i", B("+", V("i"), C(1))),
+            ),
+        ),
+        ir.Return(B("^", V("crc"), C(0xFFFFFFFF))),
+    ]
+    module.add_function(fn)
+
+    # Python oracle
+    crc = 0xFFFFFFFF
+    for byte in data:
+        crc ^= byte
+        for _ in range(8):
+            crc = (crc >> 1) ^ (0xEDB88320 if crc & 1 else 0)
+    oracle = crc ^ 0xFFFFFFFF
+    return module, "crc32", (len(data),), oracle
+
+
+def bubble_sort_kernel(values: "List[int] | None" = None) -> KernelSpec:
+    """Sort a global int array in place; return a position-weighted sum."""
+    if values is None:
+        values = [37, 5, 91, 5, 0, 254, 13, 42, 7, 100, 66, 3]
+    module = ir.Module()
+    module.add_global("array", max(8, len(values) * 4))
+    n = len(values)
+
+    init = ir.Function("init", locals={"i": ir.INT, "p": ir.PTR})
+    body: list = [ir.Assign("i", C(0))]
+    for index, value in enumerate(values):
+        body.append(
+            ir.Store(ir.PtrAdd(ir.GlobalRef("array"), C(index * 4)), C(value))
+        )
+    body.append(ir.Return())
+    init.body = body
+    module.add_function(init)
+
+    sort = ir.Function(
+        "bubble_sort",
+        locals={"i": ir.INT, "j": ir.INT, "a": ir.INT, "b": ir.INT,
+                "pa": ir.PTR, "pb": ir.PTR, "acc": ir.INT},
+    )
+    sort.body = [
+        ir.ExprStmt(ir.CallExpr("init", ())),
+        ir.Assign("i", C(0)),
+        ir.While(
+            B("<", V("i"), C(n - 1)),
+            (
+                ir.Assign("j", C(0)),
+                ir.While(
+                    B("<", V("j"), C(n - 1)),
+                    (
+                        ir.Assign("pa", ir.PtrAdd(ir.GlobalRef("array"), B("*", V("j"), C(4)))),
+                        ir.Assign("pb", ir.PtrAdd(ir.GlobalRef("array"),
+                                                  B("*", B("+", V("j"), C(1)), C(4)))),
+                        ir.Assign("a", ir.Load(V("pa"))),
+                        ir.Assign("b", ir.Load(V("pb"))),
+                        ir.If(
+                            B(">", V("a"), V("b")),
+                            (
+                                ir.Store(V("pa"), V("b")),
+                                ir.Store(V("pb"), V("a")),
+                            ),
+                        ),
+                        ir.Assign("j", B("+", V("j"), C(1))),
+                    ),
+                ),
+                ir.Assign("i", B("+", V("i"), C(1))),
+            ),
+        ),
+        # Position-weighted checksum distinguishes orderings.
+        ir.Assign("acc", C(0)),
+        ir.Assign("i", C(0)),
+        ir.While(
+            B("<", V("i"), C(n)),
+            (
+                ir.Assign("pa", ir.PtrAdd(ir.GlobalRef("array"), B("*", V("i"), C(4)))),
+                ir.Assign(
+                    "acc",
+                    B("+", V("acc"), B("*", ir.Load(V("pa")), B("+", V("i"), C(1)))),
+                ),
+                ir.Assign("i", B("+", V("i"), C(1))),
+            ),
+        ),
+        ir.Return(V("acc")),
+    ]
+    module.add_function(sort)
+
+    ordered = sorted(values)
+    oracle = sum(v * (i + 1) for i, v in enumerate(ordered)) & 0xFFFFFFFF
+    return module, "bubble_sort", (), oracle
+
+
+def string_search_kernel(
+    haystack: bytes = b"the quick brown fox jumps over the lazy dog",
+    needle: bytes = b"jumps",
+) -> KernelSpec:
+    """Naive substring search; returns the match index (or -1 mod 2^32)."""
+    module = ir.Module()
+    module.add_global("haystack", max(8, (len(haystack) + 7) & ~7), bytes(haystack))
+    module.add_global("needle", max(8, (len(needle) + 7) & ~7), bytes(needle))
+
+    fn = ir.Function(
+        "search",
+        params=[ir.Param("hlen", ir.INT), ir.Param("nlen", ir.INT)],
+        locals={"i": ir.INT, "j": ir.INT, "ok": ir.INT,
+                "ph": ir.PTR, "pn": ir.PTR, "a": ir.INT, "b": ir.INT},
+    )
+    fn.body = [
+        ir.Assign("i", C(0)),
+        ir.While(
+            B("<=", V("i"), B("-", V("hlen"), V("nlen"))),
+            (
+                ir.Assign("ok", C(1)),
+                ir.Assign("j", C(0)),
+                ir.While(
+                    B("<", V("j"), V("nlen")),
+                    (
+                        ir.Assign("ph", ir.PtrAdd(ir.GlobalRef("haystack"),
+                                                  B("+", V("i"), V("j")))),
+                        ir.Assign("pn", ir.PtrAdd(ir.GlobalRef("needle"), V("j"))),
+                        ir.Assign("a", ir.Load(V("ph"), 0, 1)),
+                        ir.Assign("b", ir.Load(V("pn"), 0, 1)),
+                        ir.If(B("!=", V("a"), V("b")), (ir.Assign("ok", C(0)),)),
+                        ir.Assign("j", B("+", V("j"), C(1))),
+                    ),
+                ),
+                ir.If(B("==", V("ok"), C(1)), (ir.Return(V("i")),)),
+                ir.Assign("i", B("+", V("i"), C(1))),
+            ),
+        ),
+        ir.Return(C(0xFFFFFFFF)),
+    ]
+    module.add_function(fn)
+
+    index = haystack.find(needle)
+    oracle = index if index >= 0 else 0xFFFFFFFF
+    return module, "search", (len(haystack), len(needle)), oracle
+
+
+def fibonacci_kernel(n: int = 30) -> KernelSpec:
+    """Iterative Fibonacci with 32-bit wraparound."""
+    module = ir.Module()
+    fn = ir.Function(
+        "fib",
+        params=[ir.Param("n", ir.INT)],
+        locals={"a": ir.INT, "b": ir.INT, "t": ir.INT, "i": ir.INT},
+    )
+    fn.body = [
+        ir.Assign("a", C(0)),
+        ir.Assign("b", C(1)),
+        ir.Assign("i", C(0)),
+        ir.While(
+            B("<", V("i"), V("n")),
+            (
+                ir.Assign("t", B("+", V("a"), V("b"))),
+                ir.Assign("a", V("b")),
+                ir.Assign("b", V("t")),
+                ir.Assign("i", B("+", V("i"), C(1))),
+            ),
+        ),
+        ir.Return(V("a")),
+    ]
+    module.add_function(fn)
+
+    a, b = 0, 1
+    for _ in range(n):
+        a, b = b, (a + b) & 0xFFFFFFFF
+    return module, "fib", (n,), a
+
+
+def binary_search_kernel(target: int = 73) -> KernelSpec:
+    """Binary search over a sorted global array of 32 ints."""
+    values = [i * i % 251 for i in range(32)]
+    values.sort()
+    module = ir.Module()
+    module.add_global("sorted", len(values) * 4)
+
+    init = ir.Function("init", locals={})
+    init.body = [
+        ir.Store(ir.PtrAdd(ir.GlobalRef("sorted"), C(i * 4)), C(v))
+        for i, v in enumerate(values)
+    ] + [ir.Return()]
+    module.add_function(init)
+
+    fn = ir.Function(
+        "bsearch",
+        params=[ir.Param("target", ir.INT)],
+        locals={"lo": ir.INT, "hi": ir.INT, "mid": ir.INT,
+                "p": ir.PTR, "v": ir.INT},
+    )
+    fn.body = [
+        ir.ExprStmt(ir.CallExpr("init", ())),
+        ir.Assign("lo", C(0)),
+        ir.Assign("hi", C(len(values))),
+        ir.While(
+            B("<", V("lo"), V("hi")),
+            (
+                ir.Assign("mid", B(">>", B("+", V("lo"), V("hi")), C(1))),
+                ir.Assign("p", ir.PtrAdd(ir.GlobalRef("sorted"), B("*", V("mid"), C(4)))),
+                ir.Assign("v", ir.Load(V("p"))),
+                ir.If(
+                    B("==", V("v"), V("target")),
+                    (ir.Return(V("mid")),),
+                    (
+                        ir.If(
+                            B("<", V("v"), V("target")),
+                            (ir.Assign("lo", B("+", V("mid"), C(1))),),
+                            (ir.Assign("hi", V("mid")),),
+                        ),
+                    ),
+                ),
+            ),
+        ),
+        ir.Return(C(0xFFFFFFFF)),
+    ]
+    module.add_function(fn)
+
+    import bisect
+
+    index = bisect.bisect_left(values, target)
+    oracle = index if index < len(values) and values[index] == target else 0xFFFFFFFF
+    return module, "bsearch", (target,), oracle
+
+
+#: The full validation suite.
+ALL_KERNELS = (
+    crc32_kernel,
+    bubble_sort_kernel,
+    string_search_kernel,
+    fibonacci_kernel,
+    binary_search_kernel,
+)

@@ -1,0 +1,151 @@
+"""Tests for the boundary-tagged chunk allocator."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.allocator.dlmalloc import (
+    ALIGNMENT,
+    HEADER_SIZE,
+    MIN_CHUNK_SIZE,
+    DlMalloc,
+    HeapCorruption,
+    HeapExhausted,
+)
+
+BASE = 0x1000
+SIZE = 0x10000
+
+
+@pytest.fixture
+def heap():
+    return DlMalloc(BASE, SIZE)
+
+
+class TestBasics:
+    def test_construction_validation(self):
+        with pytest.raises(ValueError):
+            DlMalloc(BASE + 1, SIZE)
+        with pytest.raises(ValueError):
+            DlMalloc(BASE, 8)
+
+    def test_allocate_returns_aligned_payload(self, heap):
+        for request in (1, 7, 8, 13, 100):
+            chunk = heap.allocate(request)
+            assert chunk.payload_address % ALIGNMENT == 0
+            assert chunk.payload_size >= request
+            assert chunk.size == chunk.payload_size + HEADER_SIZE
+
+    def test_zero_size_rejected(self, heap):
+        with pytest.raises(ValueError):
+            heap.allocate(0)
+
+    def test_headers_are_in_band(self, heap):
+        """Boundary tags: consecutive chunks are separated by exactly
+
+        one header — the embedded-friendly in-band layout (5.1)."""
+        a = heap.allocate(24)
+        b = heap.allocate(24)
+        assert b.address == a.end
+        assert b.payload_address - a.end == HEADER_SIZE
+
+    def test_exhaustion(self, heap):
+        heap.allocate(SIZE - HEADER_SIZE - MIN_CHUNK_SIZE)
+        with pytest.raises(HeapExhausted):
+            heap.allocate(1024)
+
+
+class TestRelease:
+    def test_release_and_reuse(self, heap):
+        chunk = heap.allocate(64)
+        address = chunk.payload_address
+        heap.release(chunk)
+        again = heap.allocate(64)
+        assert again.payload_address == address  # LIFO small bin
+
+    def test_double_release_rejected(self, heap):
+        chunk = heap.allocate(64)
+        heap.release(chunk)
+        with pytest.raises(HeapCorruption):
+            heap.release(chunk)
+
+    def test_full_coalescing_restores_heap(self, heap):
+        chunks = [heap.allocate(100) for _ in range(20)]
+        random.Random(7).shuffle(chunks)
+        for chunk in chunks:
+            heap.release(chunk)
+        heap.check_invariants()
+        assert heap.free_bytes == SIZE
+        big = heap.allocate(SIZE - HEADER_SIZE)
+        assert big.payload_size == SIZE - HEADER_SIZE
+
+    def test_partial_coalescing(self, heap):
+        a = heap.allocate(64)
+        b = heap.allocate(64)
+        c = heap.allocate(64)
+        heap.release(a)
+        heap.release(c)
+        heap.release(b)  # merges with both neighbours and the top
+        heap.check_invariants()
+        assert heap.free_bytes == SIZE
+
+    def test_chunk_lookup_by_payload(self, heap):
+        chunk = heap.allocate(48)
+        assert heap.chunk_at_payload(chunk.payload_address) is chunk
+        with pytest.raises(HeapCorruption):
+            heap.chunk_at_payload(chunk.payload_address + 8)
+
+
+class TestSplitting:
+    def test_large_chunk_split_returns_remainder(self, heap):
+        chunk = heap.allocate(1024)
+        free_before = heap.free_bytes
+        assert free_before == SIZE - chunk.size
+        heap.check_invariants()
+
+    def test_tiny_remainder_not_split(self, heap):
+        """A remainder below MIN_CHUNK_SIZE stays attached to the chunk."""
+        a = heap.allocate(SIZE - HEADER_SIZE - MIN_CHUNK_SIZE - 8)
+        assert heap.free_bytes <= MIN_CHUNK_SIZE + 8
+        heap.check_invariants()
+
+
+class TestOpsCounting:
+    def test_ops_accumulate_and_reset(self, heap):
+        heap.allocate(64)
+        assert heap.ops.header_writes > 0
+        heap.ops.reset()
+        assert heap.ops.header_writes == 0
+
+
+class TestPropertyBased:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), st.integers(min_value=1, max_value=2048)),
+            min_size=1,
+            max_size=120,
+        )
+    )
+    def test_random_workload_preserves_invariants(self, script):
+        heap = DlMalloc(BASE, SIZE)
+        live = []
+        for do_free, size in script:
+            if do_free and live:
+                heap.release(live.pop(len(live) // 2))
+            else:
+                try:
+                    live.append(heap.allocate(size))
+                except HeapExhausted:
+                    pass
+            heap.check_invariants()
+        # No two live chunks overlap.
+        spans = sorted((c.address, c.end) for c in live)
+        for (a1, e1), (a2, _) in zip(spans, spans[1:]):
+            assert e1 <= a2
+        for chunk in live:
+            heap.release(chunk)
+        heap.check_invariants()
+        assert heap.free_bytes == SIZE

@@ -1,0 +1,83 @@
+"""Tests for the revocation-granule trade-off (section 3.3.1).
+
+A larger granule shrinks the bitmap SRAM proportionally but forces the
+allocator to pad chunks so no two allocations share a revocation bit.
+"""
+
+import pytest
+
+from repro.allocator import CheriHeap, TemporalSafetyMode
+from repro.capability import make_roots
+from repro.memory import RevocationMap, SystemBus, TaggedMemory, default_memory_map
+from repro.revoker import BackgroundRevoker, EpochCounter
+
+
+def build(granule):
+    mm = default_memory_map()
+    bus = SystemBus()
+    bus.attach_sram(TaggedMemory(mm.code.base, mm.sram_bytes))
+    rmap = RevocationMap(mm.heap.base, mm.heap.size, granule_bytes=granule)
+    roots = make_roots()
+    epoch = EpochCounter()
+    hw = BackgroundRevoker(bus, rmap, epoch)
+    heap = CheriHeap(
+        bus, mm.heap, rmap, roots.memory, TemporalSafetyMode.HARDWARE,
+        hardware_revoker=hw, epoch=epoch,
+    )
+    return heap, rmap, bus
+
+
+class TestRevocationMapGranule:
+    def test_bitmap_shrinks_with_granule(self):
+        sizes = {}
+        for granule in (8, 16, 32, 64):
+            _, rmap, _ = build(granule)
+            sizes[granule] = rmap.bitmap_bytes
+        assert sizes[16] == sizes[8] // 2
+        assert sizes[64] == sizes[8] // 8
+
+    def test_bad_granules_rejected(self):
+        with pytest.raises(ValueError):
+            RevocationMap(0x2000_0000, 0x1000, granule_bytes=4)
+        with pytest.raises(ValueError):
+            RevocationMap(0x2000_0000, 0x1000, granule_bytes=12)
+
+    def test_lookup_respects_granule(self):
+        rmap = RevocationMap(0x2000_0000, 0x1000, granule_bytes=32)
+        rmap.paint(0x2000_0020, 32)
+        for offset in range(0x20, 0x40):
+            assert rmap.is_revoked(0x2000_0000 + offset)
+        assert not rmap.is_revoked(0x2000_0000 + 0x1F)
+
+
+class TestAllocatorPadding:
+    def test_no_two_allocations_share_a_granule(self):
+        heap, rmap, _ = build(64)
+        caps = [heap.malloc(16) for _ in range(8)]
+        granules = set()
+        for cap in caps:
+            first = cap.base // 64
+            last = (cap.top - 1) // 64
+            for g in range(first, last + 1):
+                assert g not in granules, "two allocations share a granule"
+                granules.add(g)
+
+    def test_padding_grows_with_granule(self):
+        paddings = {}
+        for granule in (8, 64):
+            heap, _, _ = build(granule)
+            for _ in range(16):
+                heap.malloc(20)
+            paddings[granule] = heap.stats.fragmentation_padding
+        assert paddings[64] > paddings[8]
+
+    def test_coarse_granule_temporal_safety_still_sound(self):
+        """Freeing paints the whole (padded) chunk; neighbours keep
+
+        their own granules, so the filter never over- or under-kills."""
+        heap, rmap, bus = build(32)
+        a = heap.malloc(16)
+        b = heap.malloc(16)
+        heap.free(a)
+        assert rmap.is_revoked(a.base)
+        assert not rmap.is_revoked(b.base)

@@ -1,0 +1,76 @@
+"""Tests for calloc/realloc and allocator API edges."""
+
+import pytest
+
+from repro.allocator import InvalidFree, TemporalSafetyMode
+from .test_heap import build_heap
+
+
+class TestCalloc:
+    def test_zeroed(self):
+        heap, bus, _, _ = build_heap()
+        cap = heap.calloc(4, 16)
+        assert cap.length >= 64
+        assert bus.read_bytes(cap.base, 64) == b"\x00" * 64
+
+    def test_zeroed_even_after_dirty_reuse(self):
+        """Baseline mode does not zero on free; calloc must anyway."""
+        heap, bus, _, _ = build_heap(TemporalSafetyMode.BASELINE)
+        first = heap.malloc(64)
+        bus.write_bytes(first.base, b"\xAA" * 64)
+        heap.free(first)
+        cap = heap.calloc(8, 8)
+        assert bus.read_bytes(cap.base, 64) == b"\x00" * 64
+
+    def test_bad_dimensions(self):
+        heap, *_ = build_heap()
+        with pytest.raises(ValueError):
+            heap.calloc(0, 8)
+        with pytest.raises(ValueError):
+            heap.calloc(8, -1)
+
+
+class TestRealloc:
+    def test_grow_preserves_contents(self):
+        heap, bus, _, _ = build_heap()
+        cap = heap.malloc(32)
+        bus.write_bytes(cap.base, bytes(range(32)))
+        grown = heap.realloc(cap, 128)
+        assert grown.length >= 128
+        assert bus.read_bytes(grown.base, 32) == bytes(range(32))
+
+    def test_shrink_truncates(self):
+        heap, bus, _, _ = build_heap()
+        cap = heap.malloc(64)
+        bus.write_bytes(cap.base, b"\x55" * 64)
+        shrunk = heap.realloc(cap, 16)
+        assert shrunk.length >= 16
+        assert bus.read_bytes(shrunk.base, 16) == b"\x55" * 16
+
+    def test_old_capability_is_revoked(self):
+        """Monotonicity forces realloc to move: the old pointer must
+
+        die like any other freed pointer."""
+        heap, _, rmap, _ = build_heap()
+        cap = heap.malloc(32)
+        heap.realloc(cap, 64)
+        assert rmap.is_revoked(cap.base)
+
+    def test_realloc_always_returns_fresh_bounds(self):
+        heap, *_ = build_heap()
+        cap = heap.malloc(32)
+        fresh = heap.realloc(cap, 64)
+        assert fresh.base != cap.base or fresh.length != cap.length
+
+    def test_untagged_rejected(self):
+        heap, *_ = build_heap()
+        cap = heap.malloc(32)
+        with pytest.raises(InvalidFree):
+            heap.realloc(cap.untagged(), 64)
+
+    def test_foreign_rejected(self):
+        heap, *_ = build_heap()
+        cap = heap.malloc(32)
+        heap.free(cap)
+        with pytest.raises(InvalidFree):
+            heap.realloc(cap, 64)

@@ -1,0 +1,90 @@
+"""Stateful property tests over the temporally-safe heap.
+
+Random malloc/free interleavings must preserve, at every step:
+
+* live capabilities never overlap each other;
+* every live capability stays within the heap region;
+* freed-but-quarantined memory is never handed out again while its
+  revocation bits are set;
+* every capability handed out is tagged, unsealed and exactly bounded.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.allocator import CheriHeap, OutOfMemory, TemporalSafetyMode
+from repro.capability import make_roots
+from repro.memory import RevocationMap, SystemBus, TaggedMemory, default_memory_map
+from repro.revoker import BackgroundRevoker, EpochCounter, SoftwareRevoker
+
+actions = st.lists(
+    st.one_of(
+        st.tuples(st.just("malloc"), st.integers(min_value=1, max_value=4096)),
+        st.tuples(st.just("free"), st.integers(min_value=0, max_value=63)),
+        st.tuples(st.just("revoke"), st.none()),
+    ),
+    max_size=60,
+)
+
+
+def build_heap(mode):
+    mm = default_memory_map(heap_size=0x1_0000)
+    bus = SystemBus()
+    bus.attach_sram(TaggedMemory(mm.code.base, mm.sram_bytes))
+    rmap = RevocationMap(mm.heap.base, mm.heap.size)
+    roots = make_roots()
+    epoch = EpochCounter()
+    heap = CheriHeap(
+        bus,
+        mm.heap,
+        rmap,
+        roots.memory,
+        mode,
+        software_revoker=SoftwareRevoker(bus, rmap, epoch),
+        hardware_revoker=BackgroundRevoker(bus, rmap, epoch),
+        epoch=epoch,
+    )
+    return heap, rmap, mm
+
+
+def check_invariants(heap, rmap, mm, live):
+    spans = sorted((cap.base, cap.top) for cap in live)
+    for (b1, t1), (b2, _) in zip(spans, spans[1:]):
+        assert t1 <= b2, "live allocations overlap"
+    for cap in live:
+        assert cap.tag and not cap.is_sealed
+        assert mm.heap.contains(cap.base, cap.length)
+        assert not rmap.is_revoked(cap.base), "live allocation is revoked"
+    heap.dl.check_invariants()
+
+
+@pytest.mark.parametrize(
+    "mode", [TemporalSafetyMode.SOFTWARE, TemporalSafetyMode.HARDWARE]
+)
+@settings(max_examples=25, deadline=None)
+@given(script=actions)
+def test_random_interleavings_preserve_invariants(mode, script):
+    heap, rmap, mm = build_heap(mode)
+    live = []
+    for action, arg in script:
+        if action == "malloc":
+            try:
+                live.append(heap.malloc(arg))
+            except OutOfMemory:
+                pass
+        elif action == "free" and live:
+            heap.free(live.pop(arg % len(live)))
+        elif action == "revoke":
+            heap.revoke_now()
+        check_invariants(heap, rmap, mm, live)
+
+    # Teardown: free everything, revoke until all memory comes home.
+    for cap in live:
+        heap.free(cap)
+    heap.revoke_now()
+    heap.revoke_now()
+    assert heap.live_allocations == 0
+    assert heap.quarantined_bytes == 0
+    assert heap.dl.free_bytes == mm.heap.size
+    assert not rmap.any_revoked()

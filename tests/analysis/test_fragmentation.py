@@ -1,0 +1,71 @@
+"""Tests for the encoding precision / fragmentation analysis (3.2.3)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.fragmentation import (
+    average_fragmentation,
+    check_cheriot_encoder,
+    fragmentation_sweep,
+    max_precise_length,
+    padded_length,
+    rule_of_thumb_fragmentation,
+)
+
+
+class TestPaddedLength:
+    def test_small_lengths_exact(self):
+        for n in (1, 8, 100, 511):
+            assert padded_length(n, 9) == n
+
+    def test_larger_lengths_align(self):
+        assert padded_length(512, 9) == 512
+        assert padded_length(513, 9) == 514  # e=1: round to 2
+        assert padded_length(100_000, 9) == 100_096  # e=8: round to 256
+
+    def test_three_bit_mantissa_pads_hard(self):
+        assert padded_length(9, 3) == 10  # e=1 already at 9 bytes
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            padded_length(0, 9)
+
+    @given(st.integers(min_value=1, max_value=1 << 30))
+    def test_never_shrinks_and_bounded(self, length):
+        padded = padded_length(length, 9)
+        assert padded >= length
+        assert padded < length * 1.01 + 512  # fragmentation tiny at m=9
+
+
+class TestPaperClaims:
+    def test_max_precise_is_511(self):
+        assert max_precise_length(9) == 511
+
+    def test_nine_bit_fragmentation_tiny(self):
+        measured = average_fragmentation(9, min_length=512)
+        assert measured < 0.005  # well under half a percent
+        assert rule_of_thumb_fragmentation(9) == pytest.approx(0.00195, abs=1e-4)
+
+    def test_three_bit_fragmentation_unacceptable(self):
+        """The CHERI-Concentrate-for-32-bit layout the paper rejects."""
+        measured = average_fragmentation(3, min_length=8)
+        assert measured > 0.05
+        assert rule_of_thumb_fragmentation(3) == 0.125
+
+    def test_nine_bit_improves_three_bit_by_orders_of_magnitude(self):
+        nine = average_fragmentation(9, min_length=512)
+        three = average_fragmentation(3, min_length=8)
+        assert three > 30 * nine
+
+
+class TestEncoderCrossCheck:
+    def test_formula_matches_real_encoder(self):
+        lengths = [1, 17, 511, 512, 1000, 4096, 100_000, 1 << 20]
+        for length, allocated in check_cheriot_encoder(lengths):
+            assert allocated == padded_length(length, 9)
+
+    def test_sweep_points(self):
+        points = fragmentation_sweep([100, 1000], 9)
+        assert points[0].padding == 0
+        assert points[1].overhead >= 0

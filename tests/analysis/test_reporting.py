@@ -1,0 +1,40 @@
+"""Tests for the text table/series renderers."""
+
+from repro.analysis.reporting import format_series, format_table, size_label
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(
+            ["name", "value"], [("short", 1), ("much-longer-name", 22)]
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[2:])
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestFormatSeries:
+    def test_contains_all_labels_and_sizes(self):
+        series = {
+            "Baseline": [(32, 1.0), (1024, 1.0)],
+            "Software": [(32, 1.4), (1024, 3.2)],
+        }
+        text = format_series(series, "Figure 6")
+        assert "Figure 6" in text
+        assert "Baseline" in text and "Software" in text
+        assert "32B" in text and "1KiB" in text
+        assert "#" in text
+
+    def test_empty(self):
+        assert "no data" in format_series({}, "t")
+
+
+class TestSizeLabel:
+    def test_labels(self):
+        assert size_label(32) == "32B"
+        assert size_label(2048) == "2KiB"
+        assert size_label(1 << 20) == "1MiB"

@@ -1,0 +1,94 @@
+"""Property-based checks on the bounds encoding.
+
+The paper verified encoding properties with Sail's SMT backend
+(section 3.2.3); these hypothesis properties are our equivalent:
+containment, monotone rounding, precision for small objects, and the
+no-representable-range-below-base guarantee.
+"""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.capability.bounds import (
+    ADDRESS_BITS,
+    MAX_PRECISE_LENGTH,
+    BoundsError,
+    decode,
+    encode,
+    is_representable,
+)
+
+addresses = st.integers(min_value=0, max_value=(1 << ADDRESS_BITS) - 1)
+lengths = st.integers(min_value=0, max_value=1 << ADDRESS_BITS)
+
+
+def _fits(base, length):
+    return base + length <= (1 << ADDRESS_BITS)
+
+
+@given(addresses, lengths)
+def test_requested_region_always_contained(base, length):
+    """csetbounds never narrows below the request (monotone outward)."""
+    assume(_fits(base, length))
+    enc, actual_base, actual_top = encode(base, length)
+    assert actual_base <= base
+    assert actual_top >= base + length
+
+
+@given(addresses, lengths)
+def test_decode_at_base_matches_encoded_bounds(base, length):
+    assume(_fits(base, length))
+    enc, actual_base, actual_top = encode(base, length)
+    assert decode(base, enc) == (actual_base, actual_top)
+
+
+@given(addresses, st.integers(min_value=1, max_value=MAX_PRECISE_LENGTH))
+def test_small_objects_encode_exactly(base, length):
+    """Objects of up to 511 bytes can always be represented precisely."""
+    assume(_fits(base, length))
+    enc, actual_base, actual_top = encode(base, length, exact=True)
+    assert (actual_base, actual_top) == (base, base + length)
+
+
+@given(addresses, lengths)
+def test_rounding_bounded_by_exponent_granule(base, length):
+    """Padding on either side is strictly less than one 2**e granule."""
+    assume(_fits(base, length))
+    enc, actual_base, actual_top = encode(base, length)
+    granule = 1 << enc.exponent
+    assert base - actual_base < granule
+    assert actual_top - (base + length) < granule
+
+
+@given(addresses, lengths, addresses)
+def test_representable_addresses_preserve_decode(base, length, probe):
+    """is_representable is exactly 'decode unchanged' (the tag rule)."""
+    assume(_fits(base, length))
+    enc, actual_base, actual_top = encode(base, length)
+    if is_representable(probe, enc, actual_base, actual_top):
+        assert decode(probe, enc) == (actual_base, actual_top)
+    else:
+        assert decode(probe, enc) != (actual_base, actual_top)
+
+
+@given(addresses, st.integers(min_value=1, max_value=1 << 20))
+def test_no_representable_addresses_below_base(base, length):
+    """Section 3.2.3: in all cases addresses below the base are invalid."""
+    assume(_fits(base, length))
+    enc, actual_base, actual_top = encode(base, length)
+    assume(actual_base > 0)
+    assert not is_representable(actual_base - 1, enc, actual_base, actual_top)
+
+
+@given(addresses, st.integers(min_value=1, max_value=1 << 20))
+def test_all_in_bounds_addresses_representable(base, length):
+    """Every address inside the object decodes to the same bounds —
+
+    pointer arithmetic within the object can never untag."""
+    assume(_fits(base, length))
+    enc, actual_base, actual_top = encode(base, length)
+    span = actual_top - actual_base
+    for offset in {0, 1, span // 2, span - 1}:
+        probe = actual_base + offset
+        if probe < (1 << ADDRESS_BITS):
+            assert is_representable(probe, enc, actual_base, actual_top)

@@ -1,0 +1,226 @@
+"""Tests for the Capability value and guarded manipulation (section 2.4)."""
+
+import pytest
+
+from repro.capability import (
+    Capability,
+    Permission as P,
+    SentryType,
+    attenuate_loaded,
+    make_roots,
+)
+from repro.capability.errors import (
+    BoundsFault,
+    MonotonicityFault,
+    OTypeFault,
+    PermissionFault,
+    SealedFault,
+    TagFault,
+)
+
+RW = {P.GL, P.LD, P.SD, P.MC, P.SL, P.LM, P.LG}
+
+
+@pytest.fixture
+def cap():
+    return Capability.from_bounds(0x2000_0000, 256, RW)
+
+
+@pytest.fixture
+def roots():
+    return make_roots()
+
+
+class TestConstruction:
+    def test_null(self):
+        null = Capability.null()
+        assert not null.tag
+        assert null.perms == frozenset()
+        assert null.address == 0
+
+    def test_from_bounds(self, cap):
+        assert cap.tag
+        assert cap.base == 0x2000_0000
+        assert cap.top == 0x2000_0100
+        assert cap.length == 256
+
+    def test_unrepresentable_address_rejected(self):
+        with pytest.raises(Exception):
+            Capability.from_bounds(0x2000_0000, 64, RW, address=0x3000_0000)
+
+
+class TestAddressMoves:
+    def test_in_bounds_move_keeps_tag(self, cap):
+        moved = cap.inc_address(100)
+        assert moved.tag and moved.address == cap.address + 100
+        assert (moved.base, moved.top) == (cap.base, cap.top)
+
+    def test_move_below_base_clears_tag(self, cap):
+        moved = cap.inc_address(-1)
+        assert not moved.tag
+
+    def test_far_move_clears_tag(self, cap):
+        moved = cap.set_address(0x1000_0000)
+        assert not moved.tag
+
+    def test_sealed_address_move_clears_tag(self, cap, roots):
+        sealed = cap.seal(roots.sealing.set_address(3))
+        assert not sealed.set_address(cap.address + 8).tag
+
+    def test_untagged_moves_freely(self, cap):
+        junk = cap.untagged().set_address(0)
+        assert not junk.tag
+
+
+class TestBoundsNarrowing:
+    def test_narrow_ok(self, cap):
+        narrow = cap.inc_address(16).set_bounds(32)
+        assert (narrow.base, narrow.top) == (cap.base + 16, cap.base + 48)
+
+    def test_widen_rejected(self, cap):
+        with pytest.raises(MonotonicityFault):
+            cap.set_bounds(512)
+
+    def test_displace_rejected(self, cap):
+        # Address at top: zero length is fine, but going beyond faults.
+        at_top = cap.set_address(cap.top - 8)
+        with pytest.raises(MonotonicityFault):
+            at_top.set_bounds(64)
+
+    def test_untagged_source_faults(self, cap):
+        with pytest.raises(TagFault):
+            cap.untagged().set_bounds(16)
+
+    def test_sealed_source_faults(self, cap, roots):
+        sealed = cap.seal(roots.sealing.set_address(2))
+        with pytest.raises(SealedFault):
+            sealed.set_bounds(16)
+
+
+class TestPermissions:
+    def test_and_perms_monotone(self, cap):
+        ro = cap.and_perms(RW - {P.SD, P.SL})
+        assert P.SD not in ro.perms
+        # A second and_perms can never regain SD.
+        assert P.SD not in ro.and_perms(RW).perms
+
+    def test_readonly_is_deep(self, cap):
+        ro = cap.readonly()
+        assert P.SD not in ro.perms
+        assert P.LM not in ro.perms  # transitively read-only
+
+    def test_make_local(self, cap):
+        assert cap.is_global
+        local = cap.make_local()
+        assert local.is_local and local.tag
+
+
+class TestSealing:
+    def test_seal_unseal_roundtrip(self, cap, roots):
+        auth = roots.sealing.set_address(3)
+        sealed = cap.seal(auth)
+        assert sealed.is_sealed and sealed.otype == 3
+        unsealed = sealed.unseal(auth)
+        assert unsealed == cap
+
+    def test_seal_without_se_faults(self, cap, roots):
+        no_se = roots.sealing.clear_perms(P.SE).set_address(3)
+        with pytest.raises(PermissionFault):
+            cap.seal(no_se)
+
+    def test_unseal_wrong_otype_faults(self, cap, roots):
+        sealed = cap.seal(roots.sealing.set_address(3))
+        with pytest.raises(OTypeFault):
+            sealed.unseal(roots.sealing.set_address(4))
+
+    def test_sealed_cannot_be_dereferenced(self, cap, roots):
+        sealed = cap.seal(roots.sealing.set_address(3))
+        with pytest.raises(SealedFault):
+            sealed.check_access(sealed.address, 4, (P.LD,))
+
+    def test_seal_otype_out_of_authority_bounds(self, cap, roots):
+        narrow = roots.sealing.set_bounds(2)  # otypes [0, 2)
+        with pytest.raises(BoundsFault):
+            cap.seal(narrow.set_address(5))
+
+    def test_seal_zero_otype_rejected(self, cap, roots):
+        with pytest.raises(OTypeFault):
+            cap.seal(roots.sealing.set_address(0))
+
+
+class TestSentries:
+    def test_sentry_requires_executable(self, cap):
+        with pytest.raises(PermissionFault):
+            cap.seal_sentry(SentryType.INHERIT)
+
+    def test_sentry_roundtrip(self, roots):
+        code = roots.executable.set_address(0x100)
+        sentry = code.seal_sentry(SentryType.DISABLE_INTERRUPTS)
+        assert sentry.is_sentry
+        unsealed = sentry.unseal_for_jump()
+        assert not unsealed.is_sealed
+
+    def test_non_sentry_jump_unseal_faults(self, cap, roots):
+        sealed = cap.seal(roots.sealing.set_address(3))
+        with pytest.raises(OTypeFault):
+            sealed.unseal_for_jump()
+
+
+class TestCheckAccess:
+    def test_order_tag_before_perms(self, cap):
+        untagged = cap.untagged()
+        with pytest.raises(TagFault):
+            untagged.check_access(cap.base, 4, (P.EX,))
+
+    def test_permission_fault(self, cap):
+        ro = cap.clear_perms(P.SD)
+        with pytest.raises(PermissionFault):
+            ro.check_access(cap.base, 4, (P.SD,))
+
+    def test_bounds_fault(self, cap):
+        with pytest.raises(BoundsFault):
+            cap.check_access(cap.top - 2, 4, (P.LD,))
+        with pytest.raises(BoundsFault):
+            cap.check_access(cap.base - 1, 1, (P.LD,))
+
+    def test_whole_object_access_ok(self, cap):
+        cap.check_access(cap.base, cap.length, (P.LD, P.SD))
+
+
+class TestLoadAttenuation:
+    """Recursive LG / LM stripping (section 3.1.1)."""
+
+    def test_full_authority_passes_through(self, cap):
+        assert attenuate_loaded(cap, cap) == cap
+
+    def test_no_lg_strips_global_and_lg(self, cap):
+        authority = cap.clear_perms(P.LG)
+        loaded = attenuate_loaded(cap, authority)
+        assert P.GL not in loaded.perms
+        assert P.LG not in loaded.perms
+        assert loaded.is_local
+
+    def test_no_lm_strips_stores_and_lm(self, cap):
+        authority = cap.clear_perms(P.LM)
+        loaded = attenuate_loaded(cap, authority)
+        assert P.SD not in loaded.perms
+        assert P.LM not in loaded.perms
+        assert P.LD in loaded.perms
+
+    def test_attenuation_is_recursive_by_construction(self, cap):
+        """A capability loaded via a no-LG authority itself lacks LG, so
+
+        anything later loaded through *it* is attenuated too — the
+        delegate-a-data-structure-root property."""
+        first = attenuate_loaded(cap, cap.clear_perms(P.LG))
+        second = attenuate_loaded(cap, first)
+        assert second.is_local and P.LG not in second.perms
+
+    def test_untagged_not_touched(self, cap):
+        junk = cap.untagged()
+        assert attenuate_loaded(junk, cap.clear_perms(P.LG, P.LM)) == junk
+
+    def test_executable_keeps_perms_under_lm(self, roots):
+        code = roots.executable.set_address(0x40)
+        loaded = attenuate_loaded(code, roots.memory.clear_perms(P.LM))
+        assert P.EX in loaded.perms

@@ -1,0 +1,140 @@
+"""Tests for the 6-bit compressed permission formats (paper Figure 2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.capability.compression import (
+    FORMAT_EXECUTABLE,
+    FORMAT_MEM_CAP_RO,
+    FORMAT_MEM_CAP_RW,
+    FORMAT_MEM_CAP_WO,
+    FORMAT_MEM_NO_CAP,
+    FORMAT_SEALING,
+    and_perms,
+    classify,
+    compress,
+    decompress,
+    normalize,
+)
+from repro.capability.permissions import Permission as P
+
+perm_subsets = st.sets(st.sampled_from(list(P)), max_size=12).map(frozenset)
+
+
+class TestFormats:
+    def test_mem_cap_rw(self):
+        perms = frozenset({P.GL, P.LD, P.SD, P.MC, P.SL, P.LM, P.LG})
+        assert classify(perms) == FORMAT_MEM_CAP_RW
+        assert decompress(compress(perms)) == perms
+
+    def test_mem_cap_ro(self):
+        perms = frozenset({P.LD, P.MC, P.LM, P.LG})
+        assert classify(perms) == FORMAT_MEM_CAP_RO
+        assert decompress(compress(perms)) == perms
+
+    def test_mem_cap_wo(self):
+        perms = frozenset({P.SD, P.MC})
+        assert classify(perms) == FORMAT_MEM_CAP_WO
+        assert decompress(compress(perms)) == perms
+
+    def test_mem_no_cap(self):
+        for perms in ({P.LD}, {P.SD}, {P.LD, P.SD}, {P.GL, P.LD}):
+            perms = frozenset(perms)
+            assert classify(perms) == FORMAT_MEM_NO_CAP
+            assert decompress(compress(perms)) == perms
+
+    def test_executable(self):
+        perms = frozenset({P.GL, P.EX, P.LD, P.MC, P.SR, P.LM, P.LG})
+        assert classify(perms) == FORMAT_EXECUTABLE
+        assert decompress(compress(perms)) == perms
+
+    def test_sealing(self):
+        perms = frozenset({P.GL, P.SE, P.US, P.U0})
+        assert classify(perms) == FORMAT_SEALING
+        assert decompress(compress(perms)) == perms
+
+    def test_empty_set_is_representable(self):
+        assert normalize(frozenset()) == frozenset()
+        assert decompress(compress(frozenset())) == frozenset()
+
+    def test_classify_rejects_unrepresentable(self):
+        with pytest.raises(ValueError):
+            classify(frozenset({P.MC}))  # MC without LD or SD
+
+
+class TestHardwareGuarantees:
+    def test_w_xor_x(self):
+        """W^X: no representable set holds both EX and SD (section 3.1.1)."""
+        for word in range(64):
+            perms = decompress(word)
+            assert not (P.EX in perms and P.SD in perms)
+
+    def test_sealing_never_mixes_with_memory(self):
+        for word in range(64):
+            perms = decompress(word)
+            if perms & {P.SE, P.US, P.U0}:
+                assert not perms & {P.LD, P.SD, P.MC, P.EX}
+
+    def test_mc_requires_load_or_store(self):
+        for word in range(64):
+            perms = decompress(word)
+            if P.MC in perms:
+                assert perms & {P.LD, P.SD}
+
+
+class TestNormalize:
+    @given(perm_subsets)
+    def test_monotone(self, perms):
+        """normalize never *adds* permissions."""
+        assert normalize(perms) <= perms
+
+    @given(perm_subsets)
+    def test_idempotent(self, perms):
+        once = normalize(perms)
+        assert normalize(once) == once
+
+    @given(perm_subsets)
+    def test_result_roundtrips(self, perms):
+        result = normalize(perms)
+        assert decompress(compress(result)) == result
+
+    def test_wx_conflict_drops_execute(self):
+        result = normalize(frozenset({P.EX, P.LD, P.MC, P.SD}))
+        assert P.EX not in result
+        assert {P.LD, P.SD, P.MC} <= result
+
+    def test_sealing_dropped_when_memory_present(self):
+        result = normalize(frozenset({P.LD, P.SE}))
+        assert result == frozenset({P.LD})
+
+
+class TestAndPerms:
+    @given(perm_subsets, perm_subsets)
+    def test_candperm_is_monotone_intersection(self, perms, mask):
+        result = and_perms(perms, mask)
+        assert result <= (frozenset(perms) & frozenset(mask))
+
+    def test_clearing_store_keeps_load(self):
+        rw = frozenset({P.GL, P.LD, P.SD, P.MC, P.SL, P.LM, P.LG})
+        ro = and_perms(rw, rw - {P.SD, P.SL})
+        assert P.SD not in ro and P.LD in ro and P.MC in ro
+
+
+class TestExhaustiveDecode:
+    def test_every_word_decodes_to_representable_set(self):
+        for word in range(64):
+            perms = decompress(word)
+            assert normalize(perms) == perms
+
+    def test_decode_is_injective_up_to_normal_forms(self):
+        """Every representable set has exactly one encoding."""
+        seen = {}
+        for word in range(64):
+            perms = decompress(word)
+            recoded = compress(perms)
+            # Re-encoding a decoded word must be stable.
+            assert decompress(recoded) == perms
+            seen.setdefault(perms, set()).add(recoded)
+        for encodings in seen.values():
+            assert len(encodings) == 1

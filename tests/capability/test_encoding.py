@@ -1,0 +1,79 @@
+"""Tests for the 64-bit stored capability format (paper Figure 1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.capability import Capability, Permission as P, make_roots
+from repro.capability.bounds import EncodedBounds
+from repro.capability.compression import decompress
+from repro.capability.encoding import pack, pack_metadata, unpack
+
+RW = {P.GL, P.LD, P.SD, P.MC, P.SL, P.LM, P.LG}
+
+
+class TestLayout:
+    def test_address_in_low_word(self):
+        cap = Capability.from_bounds(0x1234_5678, 8, RW)
+        assert pack(cap) & 0xFFFFFFFF == 0x1234_5678
+
+    def test_reserved_bit_is_meta_msb(self):
+        cap = Capability.from_bounds(0, 8, RW)
+        flagged = Capability(
+            address=cap.address,
+            bounds=cap.bounds,
+            perms=cap.perms,
+            tag=True,
+            reserved=True,
+        )
+        assert pack_metadata(flagged) >> 31 == 1
+        assert pack_metadata(cap) >> 31 == 0
+
+    def test_field_positions(self):
+        bounds = EncodedBounds(exponent_field=0xA, base_field=0x155, top_field=0x0AA)
+        cap = Capability(address=0, bounds=bounds, perms=frozenset(), otype=5, tag=False)
+        meta = pack_metadata(cap)
+        assert (meta >> 0) & 0x1FF == 0x0AA  # T
+        assert (meta >> 9) & 0x1FF == 0x155  # B
+        assert (meta >> 18) & 0xF == 0xA  # E
+        assert (meta >> 22) & 0x7 == 5  # otype
+        assert (meta >> 25) & 0x3F == 0  # compressed perms
+
+
+class TestRoundtrip:
+    def test_simple(self):
+        cap = Capability.from_bounds(0x2000_0000, 4096, RW)
+        assert unpack(pack(cap), True) == cap
+
+    def test_roots_roundtrip(self):
+        for root in make_roots():
+            assert unpack(pack(root), True) == root
+
+    def test_tag_is_out_of_band(self):
+        cap = Capability.from_bounds(0x1000, 16, RW)
+        recovered = unpack(pack(cap), False)
+        assert not recovered.tag
+        assert recovered.untagged() == cap.untagged()
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_any_bits_unpack_then_repack_stable(self, bits):
+        """Memory holds arbitrary bits; decode must be total and stable
+
+        after one normalization (the permission field snaps to its
+        canonical format on the first pass)."""
+        cap = unpack(bits, False)
+        again = unpack(pack(cap), False)
+        assert again == cap
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            unpack(1 << 64, False)
+        with pytest.raises(ValueError):
+            unpack(-1, False)
+
+
+class TestPermFieldAgainstCompression:
+    def test_perm_field_decodes_via_compression_module(self):
+        cap = Capability.from_bounds(0x80, 8, {P.LD, P.MC, P.LM})
+        meta = pack_metadata(cap)
+        assert decompress((meta >> 25) & 0x3F) == cap.perms

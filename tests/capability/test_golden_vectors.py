@@ -1,0 +1,39 @@
+"""The stored capability format is pinned by golden vectors.
+
+Any change to field positions, the permission compression or the
+bounds decode makes these fail — deliberately.  To evolve the format,
+regenerate `vectors.GOLDEN_VECTORS` and account for it in review.
+"""
+
+from repro.capability import unpack
+from repro.capability.encoding import pack
+
+from .vectors import GOLDEN_VECTORS, generate_vectors
+
+
+class TestGoldenVectors:
+    def test_vectors_are_pinned_and_current(self):
+        """The pinned literals equal what the implementation produces
+
+        today — i.e. the format has not drifted."""
+        assert GOLDEN_VECTORS == generate_vectors()
+
+    def test_unpack_agrees_with_every_vector(self):
+        for packed_hex, tag, address, base, top, otype, perm_names in GOLDEN_VECTORS:
+            cap = unpack(int(packed_hex, 16), tag)
+            assert cap.address == address
+            assert cap.base == base
+            assert cap.top == top
+            assert cap.otype == otype
+            assert tuple(sorted(p.name for p in cap.perms)) == perm_names
+
+    def test_pack_roundtrips_every_vector(self):
+        for packed_hex, tag, *_ in GOLDEN_VECTORS:
+            bits = int(packed_hex, 16)
+            assert pack(unpack(bits, tag)) == bits
+
+    def test_vector_corpus_is_diverse(self):
+        assert len(GOLDEN_VECTORS) >= 40
+        assert any(otype != 0 for *_, otype, _p in GOLDEN_VECTORS)
+        assert any("EX" in perms for *_, perms in GOLDEN_VECTORS)
+        assert any("GL" not in perms for *_, perms in GOLDEN_VECTORS)

@@ -1,0 +1,104 @@
+"""Stateful property: no sequence of guarded operations gains authority.
+
+The paper's summary of guarded manipulation (section 2.4): bounds may
+be narrowed but neither widened nor displaced; permissions may be shed
+but not regained; tags may be cleared but never set.  We drive random
+operation sequences against a capability and require the invariant to
+hold at every step — the closest Python analogue of proving
+monotonicity over the ISA.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.capability import Capability, Permission as P, make_roots
+from repro.capability.errors import CapabilityError
+
+ALL_PERMS = list(P)
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("inc_address"), st.integers(-(1 << 16), 1 << 16)),
+        st.tuples(st.just("set_address"), st.integers(0, (1 << 32) - 1)),
+        st.tuples(st.just("set_bounds"), st.integers(0, 1 << 20)),
+        st.tuples(
+            st.just("and_perms"),
+            st.sets(st.sampled_from(ALL_PERMS), max_size=12).map(frozenset),
+        ),
+        st.tuples(st.just("clear_tag"), st.none()),
+        st.tuples(st.just("make_local"), st.none()),
+        st.tuples(st.just("readonly"), st.none()),
+    ),
+    max_size=12,
+)
+
+
+def apply_op(cap: Capability, op, arg):
+    if op == "inc_address":
+        return cap.inc_address(arg)
+    if op == "set_address":
+        return cap.set_address(arg)
+    if op == "set_bounds":
+        return cap.set_bounds(arg)
+    if op == "and_perms":
+        return cap.and_perms(arg)
+    if op == "clear_tag":
+        return cap.untagged()
+    if op == "make_local":
+        return cap.make_local()
+    if op == "readonly":
+        return cap.readonly()
+    raise AssertionError(op)
+
+
+@settings(max_examples=200, deadline=None)
+@given(operations)
+def test_no_operation_sequence_escalates(script):
+    origin = make_roots().memory.set_address(0x2000_0000).set_bounds(4096)
+    cap = origin
+    for op, arg in script:
+        try:
+            cap = apply_op(cap, op, arg)
+        except CapabilityError:
+            continue  # a refused operation leaves authority unchanged
+        # The running value never exceeds the origin's authority:
+        if cap.tag:
+            assert cap.base >= origin.base
+            assert cap.top <= origin.top
+            assert cap.perms <= origin.perms
+    # And a cleared tag never comes back.
+    dead = cap.untagged()
+    for op, arg in script:
+        try:
+            dead = apply_op(dead, op, arg)
+        except CapabilityError:
+            continue
+        assert not dead.tag
+
+
+@settings(max_examples=100, deadline=None)
+@given(operations, operations)
+def test_sealing_freezes_authority(script_a, script_b):
+    """Whatever you do around a seal/unseal pair, the unsealed value
+
+    has exactly the pre-seal authority."""
+    roots = make_roots()
+    cap = roots.memory.set_address(0x2000_0000).set_bounds(1024)
+    for op, arg in script_a:
+        try:
+            cap = apply_op(cap, op, arg)
+        except CapabilityError:
+            continue
+    if not cap.tag:
+        return
+    authority = roots.sealing.set_address(3)
+    sealed = cap.seal(authority)
+    # Sealed capabilities are frozen: mutations fault or untag.
+    for op, arg in script_b:
+        try:
+            mutated = apply_op(sealed, op, arg)
+        except CapabilityError:
+            continue
+        if op in ("inc_address", "set_address") and mutated.tag:
+            raise AssertionError("sealed capability moved with tag intact")
+    assert sealed.unseal(authority) == cap

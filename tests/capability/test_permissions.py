@@ -1,0 +1,63 @@
+"""Tests for the architectural permission set (paper Table 1)."""
+
+import pytest
+
+from repro.capability.permissions import (
+    ARCHITECTURAL_ORDER,
+    Permission,
+    from_architectural_word,
+    perm_set,
+    to_architectural_word,
+)
+
+
+class TestArchitecturalOrder:
+    def test_twelve_permissions(self):
+        assert len(ARCHITECTURAL_ORDER) == 12
+        assert len(set(ARCHITECTURAL_ORDER)) == 12
+
+    def test_commonly_cleared_permissions_are_low_bits(self):
+        """Section 3.2.1: GL, LG, LM, SD live in the lowest bits so one
+
+        compressed-immediate AND can clear them."""
+        low_four = set(ARCHITECTURAL_ORDER[:4])
+        assert low_four == {
+            Permission.GL,
+            Permission.LG,
+            Permission.LM,
+            Permission.SD,
+        }
+
+    def test_word_for_low_mask_fits_compressed_immediate(self):
+        mask = to_architectural_word(
+            {Permission.GL, Permission.LG, Permission.LM, Permission.SD}
+        )
+        assert mask == 0b1111
+
+
+class TestWordRoundtrip:
+    def test_empty(self):
+        assert to_architectural_word(()) == 0
+        assert from_architectural_word(0) == frozenset()
+
+    def test_all(self):
+        word = to_architectural_word(ARCHITECTURAL_ORDER)
+        assert word == (1 << 12) - 1
+        assert from_architectural_word(word) == frozenset(ARCHITECTURAL_ORDER)
+
+    @pytest.mark.parametrize("perm", list(Permission))
+    def test_single_bits(self, perm):
+        word = to_architectural_word({perm})
+        assert bin(word).count("1") == 1
+        assert from_architectural_word(word) == {perm}
+
+    def test_out_of_range_word_rejected(self):
+        with pytest.raises(ValueError):
+            from_architectural_word(1 << 12)
+        with pytest.raises(ValueError):
+            from_architectural_word(-1)
+
+    def test_perm_set_builder(self):
+        assert perm_set(Permission.LD, Permission.MC) == frozenset(
+            {Permission.LD, Permission.MC}
+        )

@@ -1,0 +1,77 @@
+"""Tests for cram/crrl — the allocator's representability arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.capability.bounds import (
+    encode,
+    representable_alignment_mask,
+    representable_length,
+)
+
+
+class TestKnownValues:
+    def test_small_lengths_need_no_alignment(self):
+        assert representable_alignment_mask(100) == 0xFFFFFFFF
+        assert representable_length(100) == 100
+        assert representable_length(511) == 511
+
+    def test_larger_lengths_round(self):
+        assert representable_length(513) == 514  # e=1
+        assert representable_alignment_mask(513) == 0xFFFFFFFE
+        assert representable_length(100_000) == 100_096  # e=8
+
+    def test_zero(self):
+        assert representable_length(0) == 0
+
+
+class TestAgainstEncoder:
+    @given(st.integers(min_value=1, max_value=1 << 28))
+    def test_crrl_base_zero_matches_encoder(self, length):
+        """Encoding [0, crrl(len)) is exact — the contract malloc uses."""
+        rounded = representable_length(length)
+        enc, base, top = encode(0, rounded, exact=True)
+        assert (base, top) == (0, rounded)
+
+    @given(
+        st.integers(min_value=1, max_value=1 << 24),
+        st.integers(min_value=0, max_value=(1 << 30)),
+    )
+    def test_cram_aligned_base_encodes_exactly(self, length, raw_base):
+        mask = representable_alignment_mask(length)
+        base = raw_base & mask
+        rounded = representable_length(length)
+        if base + rounded <= 1 << 32:
+            enc, actual_base, actual_top = encode(base, rounded, exact=True)
+            assert (actual_base, actual_top) == (base, base + rounded)
+
+
+class TestISAInstructions:
+    def test_cram_crrl_execute(self):
+        from repro.capability import make_roots
+        from repro.isa import CPU, ExecutionMode, assemble
+        from repro.memory import SystemBus, TaggedMemory
+
+        bus = SystemBus()
+        bus.attach_sram(TaggedMemory(0x2000_0000, 0x1000))
+        cpu = CPU(bus, ExecutionMode.CHERIOT)
+        cpu.load_program(
+            assemble("li a0, 100000\ncram a1, a0\ncrrl a2, a0\nhalt"),
+            0x2000_0000,
+            pcc=make_roots().executable,
+        )
+        cpu.run()
+        assert cpu.regs.read_int(11) == representable_alignment_mask(100_000)
+        assert cpu.regs.read_int(12) == representable_length(100_000)
+
+    def test_illegal_in_rv32e(self):
+        from repro.isa import CPU, ExecutionMode, Trap, assemble
+        from repro.memory import SystemBus, TaggedMemory
+
+        bus = SystemBus()
+        bus.attach_sram(TaggedMemory(0x2000_0000, 0x1000))
+        cpu = CPU(bus, ExecutionMode.RV32E)
+        cpu.load_program(assemble("cram a1, a0\nhalt"), 0x2000_0000)
+        with pytest.raises(Trap):
+            cpu.run()

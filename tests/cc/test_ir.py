@@ -1,0 +1,50 @@
+"""Tests for the IR data model itself."""
+
+import pytest
+
+from repro.cc import ir
+
+
+class TestModule:
+    def test_global_sizes_rounded_to_granule(self):
+        m = ir.Module()
+        g = m.add_global("x", 5)
+        assert g.size == 8
+
+    def test_duplicate_global_rejected(self):
+        m = ir.Module()
+        m.add_global("x", 8)
+        with pytest.raises(ir.IRError):
+            m.add_global("x", 8)
+
+    def test_duplicate_function_rejected(self):
+        m = ir.Module()
+        m.add_function(ir.Function("f"))
+        with pytest.raises(ir.IRError):
+            m.add_function(ir.Function("f"))
+
+
+class TestFunction:
+    def test_type_of_params_and_locals(self):
+        fn = ir.Function(
+            "f",
+            params=[ir.Param("p", ir.PTR)],
+            locals={"x": ir.INT},
+        )
+        assert fn.type_of("p") == ir.PTR
+        assert fn.type_of("x") == ir.INT
+
+    def test_type_of_unknown_raises(self):
+        with pytest.raises(ir.IRError):
+            ir.Function("f").type_of("ghost")
+
+
+class TestNodes:
+    def test_expressions_are_immutable(self):
+        node = ir.BinOp("+", ir.Const(1), ir.Const(2))
+        with pytest.raises(Exception):
+            node.op = "-"
+
+    def test_load_defaults(self):
+        load = ir.Load(ir.Var("p"))
+        assert load.size == 4 and not load.signed and not load.as_ptr

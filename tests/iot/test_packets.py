@@ -1,0 +1,66 @@
+"""Tests for packet framing and the simulated cloud."""
+
+import pytest
+
+from repro.iot.packets import (
+    CloudSource,
+    FramingError,
+    checksum16,
+    frame,
+    unframe,
+)
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        wire = frame(7, b"payload")
+        assert unframe(wire) == (7, b"payload")
+
+    def test_checksum_detects_corruption(self):
+        wire = bytearray(frame(1, b"hello world"))
+        wire[8] ^= 0x40
+        with pytest.raises(FramingError):
+            unframe(bytes(wire))
+
+    def test_truncation_detected(self):
+        wire = frame(1, b"hello")
+        with pytest.raises(FramingError):
+            unframe(wire[:-2])
+
+    def test_short_frame(self):
+        with pytest.raises(FramingError):
+            unframe(b"abc")
+
+    def test_checksum_properties(self):
+        assert checksum16(b"") == 0xFFFF
+        assert checksum16(b"abc") != checksum16(b"abd")
+        assert 0 <= checksum16(b"\xff" * 100) <= 0xFFFF
+
+
+class TestCloudSource:
+    def test_bootstrap_carries_full_bytecode(self):
+        bytecode = bytes(range(200))
+        cloud = CloudSource(bytecode)
+        chunks = []
+        for message in cloud.initial_messages():
+            if message.body.startswith(b"PUB:device/code:"):
+                chunks.append(message.body[len(b"PUB:device/code:"):])
+        assert b"".join(chunks) == bytecode
+
+    def test_bootstrap_ends_with_done_marker(self):
+        cloud = CloudSource(b"\x01\x02\x03")
+        assert cloud.initial_messages()[-1].body.startswith(b"PUB:device/code-done")
+
+    def test_sequences_monotonic(self):
+        cloud = CloudSource(b"x" * 100)
+        seqs = [m.sequence for m in cloud.initial_messages()]
+        seqs += [m.sequence for m in cloud.messages_for_tick(0, 2000)]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+
+    def test_telemetry_schedule(self):
+        cloud = CloudSource(b"", telemetry_interval_ms=1000)
+        assert len(cloud.messages_for_tick(0, 10)) == 1  # t=0
+        assert len(cloud.messages_for_tick(10, 10)) == 0
+        assert len(cloud.messages_for_tick(995, 10)) == 1  # t=1000
+        assert len(cloud.messages_for_tick(990, 2500)) == 3

@@ -1,0 +1,115 @@
+"""Tests for the two-pass assembler."""
+
+import pytest
+
+from repro.isa.assembler import AssemblerError, assemble
+
+
+class TestBasics:
+    def test_simple_program(self):
+        prog = assemble("li a0, 5\nhalt\n")
+        assert len(prog) == 2
+        assert prog.instructions[0].mnemonic == "li"
+        assert prog.instructions[0].operands == (10, 5)
+
+    def test_comments_and_blanks(self):
+        prog = assemble(
+            """
+            # a comment
+            li a0, 1   ; trailing
+            // c++ style
+            halt
+            """
+        )
+        assert len(prog) == 2
+
+    def test_register_spellings(self):
+        prog = assemble("add x10, a0, ca0\nhalt")
+        assert prog.instructions[0].operands == (10, 10, 10)
+
+    def test_immediates(self):
+        prog = assemble("li t0, 0x10\nli t1, -5\nli t2, 0b101\nhalt")
+        assert prog.instructions[0].operands[1] == 16
+        assert prog.instructions[1].operands[1] == -5
+        assert prog.instructions[2].operands[1] == 5
+
+    def test_memory_operand(self):
+        prog = assemble("lw a0, -8(sp)\nhalt")
+        assert prog.instructions[0].operands == (10, (-8, 2))
+
+    def test_size_bytes(self):
+        assert assemble("nop\nnop\nhalt").size_bytes == 12
+
+
+class TestLabels:
+    def test_forward_and_backward(self):
+        prog = assemble(
+            """
+            start:
+                beqz a0, done
+                j start
+            done:
+                halt
+            """
+        )
+        assert prog.entry("start") == 0
+        assert prog.entry("done") == 2
+        assert prog.instructions[0].operands == (10, 2)
+        assert prog.instructions[1].operands == (0,)
+
+    def test_label_with_instruction_on_same_line(self):
+        prog = assemble("loop: addi a0, a0, -1\nbnez a0, loop\nhalt")
+        assert prog.entry("loop") == 0
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblerError):
+            assemble("x:\nx:\nnop")
+
+    def test_undefined_label(self):
+        with pytest.raises(AssemblerError):
+            assemble("j nowhere\nhalt")
+
+    def test_unknown_entry(self):
+        prog = assemble("nop")
+        with pytest.raises(AssemblerError):
+            prog.entry("missing")
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError):
+            assemble("frobnicate a0, a1")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblerError):
+            assemble("add a0, a1")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblerError):
+            assemble("add a0, a1, q7")
+
+    def test_bad_immediate(self):
+        with pytest.raises(AssemblerError):
+            assemble("li a0, banana")
+
+    def test_bad_memory_operand(self):
+        with pytest.raises(AssemblerError):
+            assemble("lw a0, a1")
+
+
+class TestCapabilityMnemonics:
+    def test_cap_ops_parse(self):
+        prog = assemble(
+            """
+            cincaddrimm csp, csp, -16
+            csc cra, 8(csp)
+            clc cra, 8(csp)
+            csetboundsimm ct0, ct0, 64
+            csealentry ct1, ct0, disable
+            cspecialrw ct2, mtdc, c0
+            halt
+            """
+        )
+        assert len(prog) == 7
+        assert prog.instructions[4].operands == (6, 5, "disable")
+        assert prog.instructions[5].operands == (7, "mtdc", 0)

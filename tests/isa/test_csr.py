@@ -1,0 +1,71 @@
+"""Tests for the CSR file and the stack high-water-mark pair (5.2.1)."""
+
+import pytest
+
+from repro.isa.csr import CSRError, CSRFile, HWMState
+
+
+class TestBasics:
+    def test_unknown_csr(self):
+        csr = CSRFile()
+        with pytest.raises(CSRError):
+            csr.read("nonexistent")
+        with pytest.raises(CSRError):
+            csr.write("nonexistent", 1)
+
+    def test_interrupt_posture(self):
+        csr = CSRFile()
+        assert csr.interrupts_enabled
+        csr.interrupts_enabled = False
+        assert not csr.interrupts_enabled
+        assert csr.read("mstatus_mie") == 0
+
+    def test_writes_mask_to_32_bits(self):
+        csr = CSRFile()
+        csr.write("mcause", 1 << 35 | 5)
+        assert csr.read("mcause") == 5
+
+
+class TestHighWaterMark:
+    def test_mark_tracks_lowest_store(self):
+        csr = CSRFile()
+        csr.set_stack(0x1000, 0x2000)
+        csr.note_store(0x1800)
+        csr.note_store(0x1400)
+        csr.note_store(0x1600)  # above current mark: no change
+        assert csr.high_water_mark == 0x1400
+
+    def test_stores_outside_stack_ignored(self):
+        csr = CSRFile()
+        csr.set_stack(0x1000, 0x2000)
+        csr.note_store(0x0800)
+        csr.note_store(0x2800)
+        assert csr.high_water_mark == 0x2000
+
+    def test_reset_pulls_mark_back_up(self):
+        csr = CSRFile()
+        csr.set_stack(0x1000, 0x2000)
+        csr.note_store(0x1100)
+        csr.reset_high_water_mark(0x1C00)
+        assert csr.high_water_mark == 0x1C00
+
+    def test_disabled_hardware_never_moves(self):
+        """The non-(S) configurations: the CSRs exist but the mark is
+
+        never updated, so the switcher sees the whole stack as dirty."""
+        csr = CSRFile(hwm_enabled=False)
+        csr.set_stack(0x1000, 0x2000)
+        csr.note_store(0x1100)
+        assert csr.high_water_mark == 0x2000
+
+    def test_save_restore_roundtrip(self):
+        """Both CSRs must be saved/restored on context switch (5.2.1)."""
+        csr = CSRFile()
+        csr.set_stack(0x1000, 0x2000)
+        csr.note_store(0x1200)
+        saved = csr.save_hwm()
+        assert saved == HWMState(0x1000, 0x1200)
+        csr.set_stack(0x3000, 0x4000)
+        csr.restore_hwm(saved)
+        assert csr.stack_base == 0x1000
+        assert csr.high_water_mark == 0x1200

@@ -1,0 +1,43 @@
+"""Tests for the disassembler."""
+
+from repro.isa import assemble, disassemble, format_instruction
+
+
+class TestDisassembly:
+    def test_roundtrip_readability(self):
+        program = assemble(
+            """
+            start:
+                li a0, 5
+                lw a1, -8(sp)
+                beqz a1, start
+                csc cra, 0(csp)
+                halt
+            """
+        )
+        text = disassemble(program, code_base=0x2000_0000)
+        assert "start:" in text
+        assert "li a0, 5" in text
+        assert "lw a1, -8(sp)" in text
+        assert "0x20000000" in text
+        assert "<0x20000000>" in text  # resolved branch target
+
+    def test_reassembles(self):
+        """The mnemonic+operand part of each line re-assembles."""
+        program = assemble("loop: addi a0, a0, -1\nbnez a0, loop\nhalt")
+        for instr in program.instructions:
+            line = format_instruction(instr, 0)
+            mnemonic = line.split()[0]
+            assert mnemonic == instr.mnemonic
+
+    def test_compiler_output_disassembles(self):
+        from repro.cc import ir
+        from repro.cc.lower import Target, compile_module
+
+        m = ir.Module()
+        fn = ir.Function("f", locals={"x": ir.INT})
+        fn.body = [ir.Assign("x", ir.Const(1)), ir.Return(ir.Var("x"))]
+        m.add_function(fn)
+        compiled = compile_module(m, Target.CHERIOT)
+        program = assemble(compiled.assembly)
+        assert "cincaddrimm" in disassemble(program)

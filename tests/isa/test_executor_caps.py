@@ -1,0 +1,140 @@
+"""Tests for capability-manipulation instructions through the executor."""
+
+import pytest
+
+from repro.capability import Permission as P, to_architectural_word
+from repro.isa import Trap, TrapCause
+from .conftest import DATA_BASE, make_cpu
+
+
+class TestInspection:
+    def test_getters(self, bus, roots, data_cap):
+        cpu = make_cpu(
+            bus, roots,
+            """
+            cgetaddr a0, s0
+            cgetbase a1, s0
+            cgetlen a2, s0
+            cgettag a3, s0
+            cgettype a4, s0
+            halt
+            """,
+        )
+        cpu.regs.write(8, data_cap.inc_address(4))
+        cpu.run()
+        assert cpu.regs.read_int(10) == DATA_BASE + 4
+        assert cpu.regs.read_int(11) == DATA_BASE
+        assert cpu.regs.read_int(12) == 256
+        assert cpu.regs.read_int(13) == 1
+        assert cpu.regs.read_int(14) == 0
+
+    def test_cgetperm_matches_architectural_word(self, bus, roots, data_cap):
+        cpu = make_cpu(bus, roots, "cgetperm a0, s0\nhalt")
+        cpu.regs.write(8, data_cap)
+        cpu.run()
+        assert cpu.regs.read_int(10) == to_architectural_word(data_cap.perms)
+
+
+class TestManipulation:
+    def test_csetbounds_narrows(self, bus, roots, data_cap):
+        cpu = make_cpu(
+            bus, roots,
+            "cincaddrimm t0, s0, 16\nli t1, 32\ncsetbounds a0, t0, t1\nhalt",
+        )
+        cpu.regs.write(8, data_cap)
+        cpu.run()
+        result = cpu.regs.read(10)
+        assert (result.base, result.top) == (DATA_BASE + 16, DATA_BASE + 48)
+
+    def test_csetbounds_widen_traps(self, bus, roots, data_cap):
+        cpu = make_cpu(bus, roots, "li t1, 4096\ncsetbounds a0, s0, t1\nhalt")
+        cpu.regs.write(8, data_cap)
+        with pytest.raises(Trap) as excinfo:
+            cpu.run()
+        assert excinfo.value.cause is TrapCause.CHERI_MONOTONICITY
+
+    def test_candperm_sheds(self, bus, roots, data_cap):
+        mask = to_architectural_word(frozenset(data_cap.perms) - {P.SD, P.SL})
+        cpu = make_cpu(bus, roots, f"li t1, {mask}\ncandperm a0, s0, t1\nhalt")
+        cpu.regs.write(8, data_cap)
+        cpu.run()
+        assert P.SD not in cpu.regs.read(10).perms
+
+    def test_ccleartag(self, bus, roots, data_cap):
+        cpu = make_cpu(bus, roots, "ccleartag a0, s0\nhalt")
+        cpu.regs.write(8, data_cap)
+        cpu.run()
+        assert not cpu.regs.read(10).tag
+
+    def test_csetaddr_out_of_representable_untags(self, bus, roots, data_cap):
+        cpu = make_cpu(bus, roots, "li t1, 0x10000000\ncsetaddr a0, s0, t1\nhalt")
+        cpu.regs.write(8, data_cap)
+        cpu.run()
+        assert not cpu.regs.read(10).tag
+
+    def test_csub(self, bus, roots, data_cap):
+        cpu = make_cpu(bus, roots, "cincaddrimm t0, s0, 24\ncsub a0, t0, s0\nhalt")
+        cpu.regs.write(8, data_cap)
+        cpu.run()
+        assert cpu.regs.read_int(10) == 24
+
+    def test_ctestsubset(self, bus, roots, data_cap):
+        cpu = make_cpu(
+            bus, roots,
+            "ctestsubset a0, s0, s1\nctestsubset a1, s1, s0\nhalt",
+        )
+        cpu.regs.write(8, data_cap)
+        cpu.regs.write(9, data_cap.set_bounds(64).clear_perms(P.SD))
+        cpu.run()
+        assert cpu.regs.read_int(10) == 1  # s1 subset of s0
+        assert cpu.regs.read_int(11) == 0
+
+
+class TestSealingInstructions:
+    def test_cseal_cunseal(self, bus, roots, data_cap):
+        cpu = make_cpu(bus, roots, "cseal a0, s0, s1\ncunseal a1, a0, s1\nhalt")
+        cpu.regs.write(8, data_cap)
+        cpu.regs.write(9, roots.sealing.set_address(3))
+        cpu.run()
+        assert cpu.regs.read(10).otype == 3
+        assert cpu.regs.read(11) == data_cap
+
+    def test_cseal_without_authority_traps(self, bus, roots, data_cap):
+        cpu = make_cpu(bus, roots, "cseal a0, s0, s1\nhalt")
+        cpu.regs.write(8, data_cap)
+        cpu.regs.write(9, roots.sealing.clear_perms(P.SE).set_address(3))
+        with pytest.raises(Trap) as excinfo:
+            cpu.run()
+        assert excinfo.value.cause is TrapCause.CHERI_PERMISSION
+
+
+class TestSpecialRegisters:
+    def test_cspecialrw_swaps(self, bus, roots, data_cap):
+        cpu = make_cpu(
+            bus, roots,
+            "cspecialrw a0, mtdc, s0\ncspecialrw a1, mtdc, c0\nhalt",
+        )
+        cpu.regs.write(8, data_cap)
+        cpu.run()
+        assert not cpu.regs.read(10).tag  # old mtdc was null
+        assert cpu.regs.read(11) == data_cap  # read back what we wrote
+
+    def test_cspecialrw_requires_sr(self, bus, roots, data_cap):
+        cpu = make_cpu(bus, roots, "cspecialrw a0, mtdc, s0\nhalt")
+        cpu.pcc = cpu.pcc.clear_perms(P.SR)
+        cpu.regs.write(8, data_cap)
+        with pytest.raises(Trap) as excinfo:
+            cpu.run()
+        assert excinfo.value.cause is TrapCause.CHERI_PERMISSION
+
+    def test_protected_csr_requires_sr(self, bus, roots):
+        cpu = make_cpu(bus, roots, "csrr a0, mshwm\nhalt")
+        cpu.pcc = cpu.pcc.clear_perms(P.SR)
+        with pytest.raises(Trap) as excinfo:
+            cpu.run()
+        assert excinfo.value.cause is TrapCause.CHERI_PERMISSION
+
+    def test_mcycle_readable_without_sr(self, bus, roots):
+        cpu = make_cpu(bus, roots, "csrr a0, mcycle\nhalt")
+        cpu.pcc = cpu.pcc.clear_perms(P.SR)
+        cpu.run()

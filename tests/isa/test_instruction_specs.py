@@ -1,0 +1,47 @@
+"""Meta-tests: the spec table, dispatch table and assembler agree."""
+
+from repro.isa.executor import _DISPATCH
+from repro.isa.instructions import INSTRUCTION_SPECS
+from repro.isa.registers import ABI_NAMES, REGISTER_NAMES, register_index
+
+import pytest
+
+
+class TestSpecDispatchAgreement:
+    def test_every_spec_has_a_handler(self):
+        missing = set(INSTRUCTION_SPECS) - set(_DISPATCH)
+        assert not missing, f"specs without handlers: {missing}"
+
+    def test_every_handler_has_a_spec(self):
+        extra = set(_DISPATCH) - set(INSTRUCTION_SPECS)
+        assert not extra, f"handlers without specs: {extra}"
+
+    def test_signatures_are_well_formed(self):
+        valid = {"rd", "rs", "rt", "imm", "mem", "label", "csr", "scr", "str"}
+        for spec in INSTRUCTION_SPECS.values():
+            for kind in [k for k in spec.signature.split(",") if k]:
+                assert kind in valid, f"{spec.mnemonic}: bad kind {kind}"
+
+
+class TestRegisterNames:
+    def test_sixteen_abi_names(self):
+        assert len(ABI_NAMES) == 16
+
+    def test_all_spellings_resolve(self):
+        for index, abi in enumerate(ABI_NAMES):
+            assert register_index(abi) == index
+            assert register_index(f"x{index}") == index
+            assert register_index(f"c{index}") == index
+            assert register_index(f"c{abi}") == index
+
+    def test_fp_alias(self):
+        assert register_index("fp") == register_index("s0") == 8
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            register_index("x16")
+        with pytest.raises(ValueError):
+            register_index("bogus")
+
+    def test_case_insensitive(self):
+        assert register_index("A0") == 10

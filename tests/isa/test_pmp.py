@@ -1,0 +1,77 @@
+"""Tests for the 16-entry PMP baseline (Table 2 comparator)."""
+
+import pytest
+
+from repro.isa import ExecutionMode, PMPEntry, PMPUnit, PMPViolation, Trap, TrapCause
+from repro.isa.pmp import PMP_ENTRIES
+from .conftest import make_cpu
+
+
+class TestEntries:
+    def test_napot_validation(self):
+        PMPEntry(0x1000, 0x1000, read=True)
+        with pytest.raises(ValueError):
+            PMPEntry(0x1000, 0x1800, read=True)  # not a power of two
+        with pytest.raises(ValueError):
+            PMPEntry(0x800, 0x1000, read=True)  # misaligned
+        with pytest.raises(ValueError):
+            PMPEntry(0, 2, read=True)  # below minimum grain
+
+    def test_sixteen_entries(self):
+        unit = PMPUnit()
+        assert len(unit.entries) == PMP_ENTRIES
+        with pytest.raises(ValueError):
+            unit.set_entry(16, None)
+
+
+class TestChecks:
+    def test_matching_entry_grants(self):
+        unit = PMPUnit()
+        unit.set_entry(0, PMPEntry(0x1000, 0x1000, read=True, write=True))
+        unit.check(0x1800, 4, "r")
+        unit.check(0x1800, 4, "w")
+        with pytest.raises(PMPViolation):
+            unit.check(0x1800, 4, "x")
+
+    def test_priority_lowest_index_wins(self):
+        unit = PMPUnit()
+        unit.set_entry(0, PMPEntry(0x1000, 0x1000, read=True))
+        unit.set_entry(1, PMPEntry(0x1000, 0x1000, read=True, write=True))
+        with pytest.raises(PMPViolation):
+            unit.check(0x1000, 4, "w")  # entry 0 matches first, no W
+
+    def test_no_match_default_allows(self):
+        unit = PMPUnit()
+        unit.check(0x9000_0000, 4, "w")
+
+    def test_access_straddling_region_boundary(self):
+        unit = PMPUnit()
+        unit.set_entry(0, PMPEntry(0x1000, 0x1000, read=True))
+        # Straddles out of the region: entry does not match, default-allow.
+        unit.check(0x1FFE, 4, "r")
+
+
+class TestPMPOnCPU:
+    def test_pmp_blocks_store_in_rv32e_mode(self, bus, roots):
+        from repro.isa import CPU
+        from repro.isa.assembler import assemble
+        from .conftest import CODE_BASE
+
+        unit = PMPUnit()
+        unit.set_entry(0, PMPEntry(0x2000_8000, 0x1000, read=True))  # no write
+        cpu = CPU(bus, mode=ExecutionMode.RV32E, pmp=unit)
+        cpu.load_program(assemble("li s0, 0x20008000\nsw a0, 0(s0)\nhalt"), CODE_BASE)
+        with pytest.raises(Trap) as excinfo:
+            cpu.run()
+        assert excinfo.value.cause is TrapCause.PMP_FAULT
+
+    def test_pmp_grants_read(self, bus, roots):
+        from repro.isa import CPU
+        from repro.isa.assembler import assemble
+        from .conftest import CODE_BASE
+
+        unit = PMPUnit()
+        unit.set_entry(0, PMPEntry(0x2000_8000, 0x1000, read=True))
+        cpu = CPU(bus, mode=ExecutionMode.RV32E, pmp=unit)
+        cpu.load_program(assemble("li s0, 0x20008000\nlw a0, 0(s0)\nhalt"), CODE_BASE)
+        cpu.run()

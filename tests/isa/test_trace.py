@@ -1,0 +1,59 @@
+"""Tests for the execution trace recorder."""
+
+from repro.isa import CPU, ExecutionMode, ExecutionTrace, assemble
+from repro.pipeline import CoreKind, make_core_model
+from .conftest import CODE_BASE, make_cpu
+
+
+class TestTrace:
+    def _traced_run(self, bus, roots, source, **kw):
+        cpu = make_cpu(bus, roots, source)
+        trace = ExecutionTrace(code_base=CODE_BASE, **kw)
+        cpu.timing = trace
+        cpu.run()
+        return trace
+
+    def test_records_every_instruction(self, bus, roots):
+        trace = self._traced_run(bus, roots, "li a0, 1\nli a1, 2\nadd a2, a0, a1\nhalt")
+        assert len(trace) == 3  # halt raises before retire accounting
+        assert trace.entries[0].text == "li a0, 1"
+        assert trace.entries[0].pc == CODE_BASE
+        assert trace.entries[2].pc == CODE_BASE + 8
+
+    def test_branch_marking(self, bus, roots):
+        trace = self._traced_run(
+            bus, roots, "li a0, 1\nbnez a0, skip\nnop\nskip: halt"
+        )
+        assert any(e.branch_taken for e in trace.entries)
+
+    def test_limit_drops_excess(self, bus, roots):
+        trace = self._traced_run(
+            bus, roots,
+            "li a0, 100\nloop: addi a0, a0, -1\nbnez a0, loop\nhalt",
+            limit=10,
+        )
+        assert len(trace) == 10
+        assert trace.dropped > 0
+
+    def test_chains_to_timing_model(self, bus, roots):
+        core = make_core_model(CoreKind.IBEX)
+        cpu = make_cpu(bus, roots, "li a0, 1\nlw a1, 0(s0)\nhalt")
+        from .conftest import DATA_BASE
+        from repro.capability import make_roots
+
+        cpu.regs.write(8, roots.memory.set_address(DATA_BASE).set_bounds(64))
+        trace = ExecutionTrace(timing=core, code_base=CODE_BASE)
+        cpu.timing = trace
+        cpu.run()
+        assert core.cycles > 0
+        assert len(trace) == 2
+
+    def test_histogram_and_render(self, bus, roots):
+        trace = self._traced_run(
+            bus, roots, "li a0, 3\nloop: addi a0, a0, -1\nbnez a0, loop\nhalt"
+        )
+        histogram = trace.mnemonic_histogram()
+        assert histogram["addi"] == 3
+        assert histogram["bnez"] == 3
+        rendered = trace.render(last=2)
+        assert rendered.count("\n") == 1

@@ -1,0 +1,135 @@
+"""Tests for trap vectoring, mret, and timer interrupts."""
+
+import pytest
+
+from repro.isa import ClintTimer, ExecutionMode, Trap, TrapCause
+from repro.pipeline import CoreKind, make_core_model
+from .conftest import CODE_BASE, make_cpu
+
+HANDLER_SUFFIX = """
+_handler:
+    csrr a3, mcause
+    addi a4, a4, 1                 # count handler entries
+    cspecialrw t0, mepcc, c0
+    cincaddrimm t0, t0, 4          # skip the faulting instruction
+    cspecialrw c0, mepcc, t0
+    mret
+"""
+
+
+def with_handler(bus, roots, body):
+    cpu = make_cpu(bus, roots, body + HANDLER_SUFFIX, entry="_start")
+    handler_index = cpu.program.entry("_handler")
+    cpu.regs.write_scr(
+        "mtcc", roots.executable.set_address(CODE_BASE + 4 * handler_index)
+    )
+    return cpu
+
+
+class TestSynchronousVectoring:
+    def test_fault_enters_handler_and_resumes(self, bus, roots):
+        cpu = with_handler(
+            bus, roots,
+            """
+            _start:
+            li a0, 0
+            lw a1, 0(a0)      # null dereference
+            li a2, 7          # execution resumes here after mret
+            halt
+            """,
+        )
+        cpu.run()
+        assert cpu.regs.read_int(14) == 1  # handler ran once
+        assert cpu.regs.read_int(12) == 7  # and execution resumed
+        assert cpu.csr.read("mcause") == TrapCause.CHERI_TAG.code
+        assert cpu.last_trap.cause is TrapCause.CHERI_TAG
+
+    def test_no_vector_installed_propagates(self, bus, roots):
+        cpu = make_cpu(bus, roots, "li a0, 0\nlw a1, 0(a0)\nhalt")
+        with pytest.raises(Trap):
+            cpu.run()
+
+    def test_vector_disables_interrupts_mret_restores(self, bus, roots):
+        cpu = with_handler(
+            bus, roots,
+            """
+            _start:
+            li a0, 0
+            lw a1, 0(a0)
+            csrr a5, mstatus_mie    # after mret: interrupts back on
+            halt
+            """,
+        )
+        seen = []
+        cpu.run()
+        assert cpu.regs.read_int(15) == 1
+
+    def test_mepc_holds_faulting_pc(self, bus, roots):
+        cpu = with_handler(
+            bus, roots,
+            "_start:\nnop\nli a0, 0\nlw a1, 0(a0)\nhalt\n",
+        )
+        cpu.run()
+        assert cpu.csr.read("mepc") == CODE_BASE + 8  # third instruction
+
+    def test_rv32e_mode_never_vectors(self, bus, roots):
+        cpu = make_cpu(bus, roots, "clc a0, 0(s0)\nhalt", mode=ExecutionMode.RV32E)
+        with pytest.raises(Trap):
+            cpu.run()
+
+
+class TestTimerInterrupts:
+    def _looping_cpu(self, bus, roots, extra=""):
+        return with_handler(
+            bus, roots,
+            f"""
+            _start:
+            li a0, 2000
+            {extra}
+            loop:
+            addi a0, a0, -1
+            bnez a0, loop
+            halt
+            """,
+        )
+
+    def test_timer_preempts_loop(self, bus, roots):
+        core = make_core_model(CoreKind.IBEX)
+        cpu = self._looping_cpu(bus, roots)
+        cpu.timing = core
+        timer = ClintTimer(core, interval=500)
+        cpu.timer = timer
+        cpu.run()
+        assert timer.fired >= 2
+        assert cpu.regs.read_int(14) == timer.fired  # handler per fire
+        assert cpu.csr.read("mcause") == TrapCause.TIMER_INTERRUPT.code
+
+    def test_interrupts_disabled_holds_timer_off(self, bus, roots):
+        core = make_core_model(CoreKind.IBEX)
+        cpu = self._looping_cpu(bus, roots, extra="csrci mstatus_mie, 1")
+        cpu.timing = core
+        timer = ClintTimer(core, interval=300)
+        cpu.timer = timer
+        cpu.run()
+        # The timer posts, but the CPU never takes it: posture wins.
+        assert cpu.regs.read_int(14) == 0
+        assert cpu.interrupt_pending is TrapCause.TIMER_INTERRUPT
+
+    def test_timer_mmio_interface(self):
+        core = make_core_model(CoreKind.IBEX)
+        timer = ClintTimer(core)
+        timer.mmio_write(0x0, 123)
+        timer.mmio_write(0x8, 50)
+        assert timer.mmio_read(0x0) == 123
+        assert timer.mmio_read(0x8) == 50
+        core.charge(200)
+        assert timer.mmio_read(0x4) == 200
+
+
+class TestVectoringCost:
+    def test_trap_entry_charges_redirect(self, bus, roots):
+        core = make_core_model(CoreKind.IBEX)
+        cpu = with_handler(bus, roots, "_start:\nli a0, 0\nlw a1, 0(a0)\nhalt\n")
+        cpu.timing = core
+        cpu.run()
+        assert core.cycles > 0

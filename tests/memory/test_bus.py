@@ -1,0 +1,97 @@
+"""Tests for the system bus: routing, stats and the store snoop."""
+
+import pytest
+
+from repro.capability import Capability, Permission as P
+from repro.memory.bus import SystemBus
+from repro.memory.revocation_map import RevocationMap
+from repro.memory.tagged_memory import MemoryError_, TaggedMemory
+
+RW = {P.GL, P.LD, P.SD, P.MC, P.SL, P.LM, P.LG}
+SRAM_BASE = 0x2000_0000
+
+
+@pytest.fixture
+def bus():
+    bus = SystemBus()
+    bus.attach_sram(TaggedMemory(SRAM_BASE, 4096))
+    return bus
+
+
+class _Device:
+    def __init__(self):
+        self.regs = {}
+
+    def mmio_read(self, offset):
+        return self.regs.get(offset, 0)
+
+    def mmio_write(self, offset, value):
+        self.regs[offset] = value
+
+
+class TestRouting:
+    def test_sram_roundtrip(self, bus):
+        bus.write_word(SRAM_BASE + 8, 0x1234, 4)
+        assert bus.read_word(SRAM_BASE + 8, 4) == 0x1234
+
+    def test_device_dispatch(self, bus):
+        device = _Device()
+        bus.attach_device(0x8000_0000, 0x100, device)
+        bus.write_word(0x8000_0010, 99, 4)
+        assert device.regs[0x10] == 99
+        assert bus.read_word(0x8000_0010, 4) == 99
+
+    def test_unmapped_address_faults(self, bus):
+        with pytest.raises(MemoryError_):
+            bus.read_word(0x9000_0000, 4)
+
+    def test_overlap_rejected(self, bus):
+        with pytest.raises(ValueError):
+            bus.attach_sram(TaggedMemory(SRAM_BASE + 8, 4096))
+        device = _Device()
+        bus.attach_device(0x8000_0000, 0x100, device)
+        with pytest.raises(ValueError):
+            bus.attach_device(0x8000_0080, 0x100, _Device())
+
+    def test_revocation_map_as_device(self, bus):
+        rmap = RevocationMap(SRAM_BASE, 4096)
+        bus.attach_device(0x8000_0000, 0x100, rmap)
+        bus.write_word(0x8000_0000, 1, 4)
+        assert rmap.is_revoked(SRAM_BASE)
+
+
+class TestStats:
+    def test_counters(self, bus):
+        cap = Capability.from_bounds(SRAM_BASE, 16, RW)
+        bus.write_word(SRAM_BASE, 1, 4)
+        bus.read_word(SRAM_BASE, 4)
+        bus.write_capability(SRAM_BASE + 8, cap)
+        bus.read_capability(SRAM_BASE + 8)
+        stats = bus.stats
+        assert stats.data_writes == 1 and stats.data_reads == 1
+        assert stats.cap_writes == 1 and stats.cap_reads == 1
+        stats.reset()
+        assert stats.data_writes == 0
+
+
+class TestStoreSnoop:
+    def test_snoop_sees_all_store_kinds(self, bus):
+        seen = []
+        bus.add_store_snooper(lambda addr, size: seen.append((addr, size)))
+        cap = Capability.from_bounds(SRAM_BASE, 16, RW)
+        bus.write_word(SRAM_BASE, 1, 4)
+        bus.write_capability(SRAM_BASE + 8, cap)
+        bus.write_bytes(SRAM_BASE + 16, b"ab")
+        bus.fill(SRAM_BASE + 32, 8)
+        bus.clear_tag(SRAM_BASE + 8)
+        assert (SRAM_BASE, 4) in seen
+        assert (SRAM_BASE + 8, 8) in seen
+        assert (SRAM_BASE + 16, 2) in seen
+        assert (SRAM_BASE + 32, 8) in seen
+        assert len(seen) == 5
+
+    def test_loads_not_snooped(self, bus):
+        seen = []
+        bus.add_store_snooper(lambda addr, size: seen.append(addr))
+        bus.read_word(SRAM_BASE, 4)
+        assert seen == []

@@ -1,0 +1,51 @@
+"""Tests for the default SoC memory map."""
+
+from repro.memory.layout import Region, default_memory_map
+
+
+class TestRegion:
+    def test_contains(self):
+        region = Region("r", 0x100, 0x100)
+        assert region.contains(0x100)
+        assert region.contains(0x1FF)
+        assert region.contains(0x180, 0x80)
+        assert not region.contains(0x200)
+        assert not region.contains(0x1FF, 2)
+
+    def test_top(self):
+        assert Region("r", 0x100, 0x100).top == 0x200
+
+
+class TestDefaultMap:
+    def test_sram_regions_are_contiguous(self):
+        mm = default_memory_map()
+        regions = mm.sram_regions()
+        for left, right in zip(regions, regions[1:]):
+            assert left.top == right.base
+
+    def test_heap_is_the_only_revocable_region(self):
+        """Code, globals and stacks are irrevocable (section 3.3.1);
+
+        only the heap sits in the region the revocation bitmap covers."""
+        mm = default_memory_map()
+        assert mm.heap.name == "heap"
+        assert not mm.heap.contains(mm.code.base)
+        assert not mm.heap.contains(mm.stacks.base)
+
+    def test_mmio_disjoint_from_sram(self):
+        mm = default_memory_map()
+        for mmio in (mm.revocation_mmio, mm.revoker_mmio, mm.uart_mmio):
+            for sram in mm.sram_regions():
+                assert mmio.top <= sram.base or sram.top <= mmio.base
+
+    def test_sizes_configurable(self):
+        mm = default_memory_map(heap_size=0x8000)
+        assert mm.heap.size == 0x8000
+        assert mm.sram_bytes == mm.code.size + mm.globals_.size + mm.stacks.size + 0x8000
+
+    def test_default_heap_fits_the_128k_benchmark(self):
+        """The allocator benchmark needs one live 128 KiB allocation
+
+        plus its quarantined predecessor ("scanning almost 256 KiB")."""
+        mm = default_memory_map()
+        assert mm.heap.size >= 2 * (128 * 1024)

@@ -1,0 +1,48 @@
+"""Tests for the UART console device."""
+
+from repro.memory.uart import REG_RXDATA, REG_STATUS, REG_TXDATA, RX_EMPTY, UART
+
+
+class TestUART:
+    def test_tx_capture(self):
+        uart = UART()
+        for byte in b"hello\nworld\n":
+            uart.mmio_write(REG_TXDATA, byte)
+        assert uart.text == "hello\nworld\n"
+        assert uart.lines == ["hello", "world"]
+
+    def test_rx_queue(self):
+        uart = UART()
+        assert uart.mmio_read(REG_RXDATA) == RX_EMPTY
+        assert uart.mmio_read(REG_STATUS) & 0b10 == 0
+        uart.feed(b"ab")
+        assert uart.mmio_read(REG_STATUS) & 0b10
+        assert uart.mmio_read(REG_RXDATA) == ord("a")
+        assert uart.mmio_read(REG_RXDATA) == ord("b")
+        assert uart.mmio_read(REG_RXDATA) == RX_EMPTY
+
+    def test_from_simulated_program(self, ):
+        """An ISA program prints through the bus-mapped UART."""
+        from repro.capability import make_roots
+        from repro.isa import CPU, ExecutionMode, assemble
+        from repro.memory import SystemBus, TaggedMemory, default_memory_map
+
+        mm = default_memory_map()
+        bus = SystemBus()
+        bus.attach_sram(TaggedMemory(mm.code.base, mm.sram_bytes))
+        uart = UART()
+        bus.attach_device(mm.uart_mmio.base, mm.uart_mmio.size, uart)
+        roots = make_roots()
+        source = "\n".join(
+            f"li t1, {byte}\nsw t1, 0(t0)" for byte in b"OK\n"
+        )
+        cpu = CPU(bus, ExecutionMode.CHERIOT)
+        cpu.load_program(
+            assemble(f"li zero, 0\n{source}\nhalt"), mm.code.base,
+            pcc=make_roots().executable,
+        )
+        cpu.regs.write(
+            5, roots.memory.set_address(mm.uart_mmio.base).set_bounds(16)
+        )
+        cpu.run()
+        assert uart.text == "OK\n"

@@ -1,0 +1,47 @@
+"""Tests for the revocation epoch protocol (sections 3.3.2, 5.1)."""
+
+import pytest
+
+from repro.revoker.epoch import EpochCounter, fully_swept
+
+
+class TestCounter:
+    def test_two_increments_per_sweep(self):
+        epoch = EpochCounter()
+        assert epoch.value == 0
+        epoch.begin_sweep()
+        assert epoch.value == 1 and epoch.sweep_in_progress
+        epoch.end_sweep()
+        assert epoch.value == 2 and not epoch.sweep_in_progress
+
+    def test_double_begin_rejected(self):
+        epoch = EpochCounter()
+        epoch.begin_sweep()
+        with pytest.raises(RuntimeError):
+            epoch.begin_sweep()
+
+    def test_end_without_begin_rejected(self):
+        with pytest.raises(RuntimeError):
+            EpochCounter().end_sweep()
+
+
+class TestFullySwept:
+    def test_freed_while_quiescent_needs_one_sweep(self):
+        """Opened at an even epoch: the next complete sweep suffices."""
+        assert not fully_swept(0, 0)
+        assert not fully_swept(0, 1)  # sweep started, not done
+        assert fully_swept(0, 2)  # one complete sweep after the free
+
+    def test_freed_mid_sweep_needs_the_next_sweep(self):
+        """Opened at an odd epoch (sweep in progress): that sweep may
+
+        already have passed the granules, so only the *next* complete
+        sweep counts — the paper's age-3 rule."""
+        assert not fully_swept(1, 2)  # the in-progress sweep finished
+        assert not fully_swept(1, 3)  # next sweep started
+        assert fully_swept(1, 4)  # and completed
+
+    def test_age_three_always_sufficient(self):
+        """The paper's conservative statement holds for either parity."""
+        for open_epoch in range(10):
+            assert fully_swept(open_epoch, open_epoch + 3)

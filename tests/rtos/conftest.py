@@ -1,0 +1,74 @@
+"""Shared fixtures: a minimal two-compartment system with a thread."""
+
+import pytest
+
+from repro.capability import make_roots
+from repro.isa import CSRFile
+from repro.memory import SystemBus, TaggedMemory, default_memory_map
+from repro.pipeline import CoreKind, make_core_model
+from repro.rtos import CompartmentSwitcher, Loader, Scheduler
+
+
+@pytest.fixture
+def mm():
+    return default_memory_map()
+
+
+@pytest.fixture
+def bus(mm):
+    bus = SystemBus()
+    bus.attach_sram(TaggedMemory(mm.code.base, mm.sram_bytes))
+    return bus
+
+
+@pytest.fixture
+def roots():
+    return make_roots()
+
+
+@pytest.fixture
+def core():
+    return make_core_model(CoreKind.IBEX)
+
+
+@pytest.fixture
+def csr():
+    return CSRFile(hwm_enabled=True)
+
+
+@pytest.fixture
+def switcher(bus, csr, roots, core):
+    return CompartmentSwitcher(bus, csr, roots.sealing, core)
+
+
+@pytest.fixture
+def loader(mm, roots, switcher):
+    return Loader(mm, roots, switcher)
+
+
+@pytest.fixture
+def scheduler(csr, core):
+    return Scheduler(csr, core, timeslice_cycles=500)
+
+
+@pytest.fixture
+def two_compartments(loader):
+    """Compartments "client" and "service" with one linked export."""
+    client = loader.add_compartment("client")
+    service = loader.add_compartment("service")
+
+    def ping(ctx, value):
+        ctx.use_stack(64)
+        return value + 1
+
+    service.export("ping", ping)
+    loader.link("client", "service", "ping")
+    return client, service
+
+
+@pytest.fixture
+def thread(loader, csr, scheduler):
+    thread = loader.add_thread("t0", stack_size=1024, priority=1)
+    scheduler.add_thread(thread)
+    scheduler.switch_to(thread)
+    return thread

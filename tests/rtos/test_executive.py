@@ -1,0 +1,136 @@
+"""Tests for the thread executive."""
+
+import pytest
+
+from repro.rtos.executive import Executive
+from repro.rtos.thread import ThreadState
+
+
+@pytest.fixture
+def executive(scheduler, core):
+    return Executive(scheduler, core)
+
+
+def make_thread(loader, scheduler, name, priority=1, stack_size=512):
+    return loader.add_thread(name, stack_size=stack_size, priority=priority)
+
+
+class TestBasics:
+    def test_single_thread_runs_to_completion(self, executive, loader, scheduler, core):
+        log = []
+
+        def body():
+            log.append("a")
+            core.charge(10)
+            yield
+            log.append("b")
+
+        thread = make_thread(loader, scheduler, "t")
+        executive.spawn(thread, body())
+        stats = executive.run()
+        assert log == ["a", "b"]
+        assert thread.state is ThreadState.FINISHED
+        assert stats.threads_finished == 1
+
+    def test_interleaving_by_priority(self, executive, loader, scheduler, core):
+        order = []
+
+        def worker(name, chunks):
+            def body():
+                for i in range(chunks):
+                    order.append(name)
+                    core.charge(scheduler.timeslice_cycles + 1)
+                    yield
+            return body()
+
+        high = make_thread(loader, scheduler, "high", priority=5)
+        low = make_thread(loader, scheduler, "low", priority=1)
+        executive.spawn(low, worker("low", 2))
+        executive.spawn(high, worker("high", 2))
+        executive.run()
+        # High priority runs all its chunks before low gets any.
+        assert order == ["high", "high", "low", "low"]
+
+    def test_round_robin_within_priority(self, executive, loader, scheduler, core):
+        order = []
+
+        def worker(name):
+            def body():
+                for _ in range(3):
+                    order.append(name)
+                    core.charge(scheduler.timeslice_cycles + 1)
+                    yield
+            return body()
+
+        a = make_thread(loader, scheduler, "a", priority=2)
+        b = make_thread(loader, scheduler, "b", priority=2)
+        executive.spawn(a, worker("a"))
+        executive.spawn(b, worker("b"))
+        executive.run()
+        assert order[:4] in (["a", "b", "a", "b"], ["b", "a", "b", "a"])
+
+
+class TestBlocking:
+    def test_sleep_orders_by_deadline(self, executive, loader, scheduler, core):
+        order = []
+
+        def sleeper(name, delay):
+            def body():
+                yield ("sleep", delay)
+                order.append(name)
+            return body()
+
+        late = make_thread(loader, scheduler, "late", priority=1)
+        soon = make_thread(loader, scheduler, "soon", priority=1)
+        executive.spawn(late, sleeper("late", 5000))
+        executive.spawn(soon, sleeper("soon", 100))
+        executive.run()
+        assert order == ["soon", "late"]
+
+    def test_block_on_predicate(self, executive, loader, scheduler, core):
+        box = {"ready": False}
+        order = []
+
+        def producer():
+            core.charge(50)
+            yield
+            box["ready"] = True
+            order.append("produced")
+
+        def consumer():
+            yield ("block", lambda: box["ready"])
+            order.append("consumed")
+
+        consumer_thread = make_thread(loader, scheduler, "consumer", priority=5)
+        producer_thread = make_thread(loader, scheduler, "producer", priority=1)
+        executive.spawn(consumer_thread, consumer())
+        executive.spawn(producer_thread, producer())
+        executive.run()
+        assert order == ["produced", "consumed"]
+
+    def test_deadlock_detected(self, executive, loader, scheduler, core):
+        def stuck():
+            yield ("block", lambda: False)
+
+        thread = make_thread(loader, scheduler, "stuck")
+        executive.spawn(thread, stuck())
+        with pytest.raises(RuntimeError, match="deadlock"):
+            executive.run()
+
+    def test_context_switch_costs_charged(self, executive, loader, scheduler, core):
+        def body():
+            yield ("sleep", 10)
+
+        a = make_thread(loader, scheduler, "a")
+        b = make_thread(loader, scheduler, "b")
+        executive.spawn(a, body())
+        executive.spawn(b, body())
+        before = core.cycles
+        executive.run()
+        assert core.cycles - before >= 2 * scheduler.context_switch_cost()
+
+    def test_duplicate_spawn_rejected(self, executive, loader, scheduler):
+        thread = make_thread(loader, scheduler, "once")
+        executive.spawn(thread, iter(()))
+        with pytest.raises(ValueError):
+            executive.spawn(thread, iter(()))

@@ -1,0 +1,105 @@
+"""Tests for compartment fault containment (blast-radius limiting)."""
+
+import pytest
+
+from repro.capability import Permission
+from repro.capability.errors import BoundsFault
+from repro.rtos.switcher import CompartmentFault
+
+
+@pytest.fixture
+def faulty_pair(loader, roots):
+    """"victim" exporting a service, "buggy" exporting a faulting entry."""
+    victim = loader.add_compartment("victim")
+    buggy = loader.add_compartment("buggy")
+
+    def service(ctx, value):
+        ctx.use_stack(64)
+        return value * 2
+
+    def explode(ctx):
+        ctx.use_stack(64)
+        # A classic compartment bug: walk off the end of a buffer.
+        buffer = roots.memory.set_address(0x2004_8000).set_bounds(16)
+        buffer.check_access(buffer.top + 4, 4, (Permission.LD,))
+
+    def explode_python(ctx):
+        raise MemoryError("non-architectural callee crash")
+
+    victim.export("service", service)
+    buggy.export("explode", explode)
+    buggy.export("explode_python", explode_python)
+    loader.link("victim", "buggy", "explode")
+    loader.link("victim", "victim", "service")
+    loader.link("buggy", "buggy", "explode_python")
+    return victim, buggy
+
+
+class TestContainment:
+    def test_fault_surfaces_as_compartment_fault(
+        self, faulty_pair, switcher, thread
+    ):
+        victim, buggy = faulty_pair
+        token = victim.get_import("buggy", "explode")
+        with pytest.raises(CompartmentFault) as excinfo:
+            switcher.call(thread, token)
+        assert excinfo.value.compartment == "buggy"
+        assert excinfo.value.export == "explode"
+        assert excinfo.value.cause_type == "BoundsFault"
+        assert switcher.stats.faults_contained == 1
+
+    def test_system_survives_a_faulting_callee(
+        self, faulty_pair, switcher, thread, csr
+    ):
+        victim, buggy = faulty_pair
+        with pytest.raises(CompartmentFault):
+            switcher.call(thread, victim.get_import("buggy", "explode"))
+        # The switcher unwound cleanly: depth zero, posture restored,
+        # SP restored, and other compartments keep working.
+        assert switcher.call_depth == 0
+        assert csr.interrupts_enabled
+        result = switcher.call(thread, victim.get_import("victim", "service"), 21)
+        assert result == 42
+
+    def test_faulting_callee_stack_is_zeroed(self, faulty_pair, switcher, thread, bus):
+        victim, buggy = faulty_pair
+        with pytest.raises(CompartmentFault):
+            switcher.call(thread, victim.get_import("buggy", "explode"))
+        bank = bus.bank_for(thread.stack_region.base, 8)
+        assert list(
+            bank.tagged_granules(thread.stack_region.base, thread.sp)
+        ) == []
+
+    def test_nested_fault_unwinds_one_level(self, loader, switcher, thread, roots):
+        outer_comp = loader.add_compartment("outer")
+        inner_comp = loader.add_compartment("inner")
+
+        def outer(ctx):
+            ctx.use_stack(64)
+            try:
+                return ctx.call("inner", "bad")
+            except CompartmentFault as fault:
+                return f"recovered from {fault.compartment}"
+
+        def bad(ctx):
+            bad_cap = roots.memory.set_address(0x2004_9000).set_bounds(8)
+            bad_cap.check_access(0x2004_9008, 4, (Permission.LD,))
+
+        outer_comp.export("outer", outer)
+        inner_comp.export("bad", bad)
+        loader.link("outer", "inner", "bad")
+        loader.link("outer", "outer", "outer")
+        result = switcher.call(thread, outer_comp.get_import("outer", "outer"))
+        assert result == "recovered from inner"
+        assert switcher.call_depth == 0
+
+    def test_non_architectural_errors_propagate_raw(
+        self, faulty_pair, switcher, thread
+    ):
+        """Only architectural faults are the switcher's business; a
+
+        Python-level bug in the *model* must not be masked."""
+        victim, buggy = faulty_pair
+        with pytest.raises(MemoryError):
+            switcher.call(thread, buggy.get_import("buggy", "explode_python"))
+        assert switcher.call_depth == 0  # unwind still happened

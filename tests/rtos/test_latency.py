@@ -1,0 +1,93 @@
+"""Tests for the interrupt-latency monitor and the real-time bound."""
+
+import pytest
+
+from repro.allocator import TemporalSafetyMode
+from repro.machine import System
+from repro.pipeline import CoreKind
+from repro.rtos import InterruptLatencyMonitor
+from repro.rtos.compartment import InterruptPosture
+
+
+def monitored_system(**kw):
+    system = System.build(core=CoreKind.IBEX, **kw)
+    monitor = InterruptLatencyMonitor(system.csr, system.core_model)
+    return system, monitor
+
+
+class TestMonitor:
+    def test_observes_switcher_critical_sections(self):
+        system, monitor = monitored_system(finalize=False)
+        comp = system.loader.add_compartment("crit")
+        comp.export("entry", lambda ctx: ctx.use_stack(64),
+                    posture=InterruptPosture.DISABLED)
+        system.loader.finalize()
+        token = comp.get_import if False else None
+        from repro.rtos.compartment import ImportToken
+        # Call through the switcher (mint a token the loader way is
+        # finalized; reuse app's machinery via direct export call path).
+        system.switcher.call(
+            system.main_thread,
+            _mint(system, "crit", "entry"),
+        )
+        assert len(monitor.windows) == 1
+        assert monitor.worst_case > 0
+
+    def test_observes_software_sweep_batches(self):
+        system, monitor = monitored_system(mode=TemporalSafetyMode.SOFTWARE)
+        system.allocator.revoke_now()
+        batches = (
+            system.memory_map.heap.size
+            // (system.software_revoker.batch_granules * 8)
+        )
+        assert len(monitor.windows) == batches
+
+    def test_reset(self):
+        system, monitor = monitored_system(mode=TemporalSafetyMode.SOFTWARE)
+        system.allocator.revoke_now()
+        monitor.reset()
+        assert monitor.worst_case == 0
+
+
+class TestRealTimeBound:
+    def test_window_bounded_by_batch_not_heap(self):
+        """The §2.1 claim: the interrupts-off window is a constant of
+
+        the image (the batch), not of how much work the sweep does."""
+        worst = {}
+        for heap_multiplier in (1, 4):
+            from repro.memory import default_memory_map
+
+            mm = default_memory_map(heap_size=0x1_0000 * heap_multiplier)
+            system = System.build(
+                core=CoreKind.IBEX,
+                mode=TemporalSafetyMode.SOFTWARE,
+                memory_map=mm,
+            )
+            monitor = InterruptLatencyMonitor(system.csr, system.core_model)
+            system.allocator.revoke_now()
+            worst[heap_multiplier] = monitor.worst_case
+        assert worst[1] == worst[4]  # 4x the heap, same worst window
+
+    def test_window_scales_with_batch_size(self):
+        worst = {}
+        for batch in (32, 128):
+            system, monitor = monitored_system(mode=TemporalSafetyMode.SOFTWARE)
+            system.software_revoker.batch_granules = batch
+            system.allocator.revoke_now()
+            worst[batch] = monitor.worst_case
+        assert worst[128] == pytest.approx(4 * worst[32], rel=0.05)
+
+
+def _mint(system, compartment, export):
+    """Mint an import token the way the loader would (tests only)."""
+    from repro.capability.otypes import RTOS_DATA_OTYPES
+    from repro.rtos.compartment import ImportToken
+
+    comp = system.switcher.compartment(compartment)
+    sealed = comp.globals_cap.set_address(comp.globals_cap.base).seal(
+        system.switcher.unseal_authority.set_address(
+            RTOS_DATA_OTYPES["compartment-export"]
+        )
+    )
+    return ImportToken(compartment, export, sealed)

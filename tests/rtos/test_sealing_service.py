@@ -1,0 +1,58 @@
+"""Tests for the virtualised sealing service (paper footnote 5)."""
+
+import pytest
+
+from repro.capability import make_roots
+from repro.capability.errors import OTypeFault, PermissionFault, TagFault
+from repro.rtos.sealing_service import SealKey, SealedHandle, SealingService
+
+
+@pytest.fixture
+def service():
+    roots = make_roots()
+    table = roots.memory.set_address(0x2004_0000).set_bounds(4096)
+    return SealingService(roots.sealing, table)
+
+
+class TestSealUnseal:
+    def test_roundtrip(self, service):
+        key = service.mint_key("connection")
+        handle = service.seal(key, {"socket": 7})
+        assert service.unseal(key, handle) == {"socket": 7}
+
+    def test_many_virtual_types(self, service):
+        """The whole point: unboundedly many types over one otype."""
+        keys = [service.mint_key(f"type{i}") for i in range(100)]
+        handles = [service.seal(k, i) for i, k in enumerate(keys)]
+        for i, (k, h) in enumerate(zip(keys, handles)):
+            assert service.unseal(k, h) == i
+
+    def test_wrong_key_faults(self, service):
+        key_a = service.mint_key("a")
+        key_b = service.mint_key("b")
+        handle = service.seal(key_a, "secret")
+        with pytest.raises(PermissionFault):
+            service.unseal(key_b, handle)
+
+    def test_forged_key_faults(self, service):
+        handle = service.seal(service.mint_key("a"), 1)
+        with pytest.raises(PermissionFault):
+            service.unseal(SealKey("a", 999), handle)
+
+    def test_tampered_handle_faults(self, service):
+        key = service.mint_key("a")
+        handle = service.seal(key, 1)
+        bad = SealedHandle(handle.sealed_cap.untagged(), handle.index)
+        with pytest.raises(TagFault):
+            service.unseal(key, bad)
+
+    def test_handle_is_opaque_sealed_cap(self, service):
+        handle = service.seal(service.mint_key("a"), 1)
+        assert handle.sealed_cap.is_sealed
+
+    def test_release_destroys(self, service):
+        key = service.mint_key("a")
+        handle = service.seal(key, 1)
+        service.release(key, handle)
+        with pytest.raises(OTypeFault):
+            service.unseal(key, handle)

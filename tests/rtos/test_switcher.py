@@ -1,0 +1,229 @@
+"""Tests for the trusted compartment switcher (sections 2.6, 5.2)."""
+
+import pytest
+
+from repro.capability import Capability, Permission as P
+from repro.capability.errors import PermissionFault, SealedFault, TagFault
+from repro.rtos.compartment import ImportToken, InterruptPosture
+from repro.rtos.switcher import CROSS_CALL_INSTRS
+
+
+class TestBasicCalls:
+    def test_call_returns_value(self, two_compartments, switcher, thread, loader):
+        client, _ = two_compartments
+        token = client.get_import("service", "ping")
+        assert switcher.call(thread, token, 41) == 42
+
+    def test_nested_calls(self, loader, switcher, thread):
+        a = loader.add_compartment("a")
+        b = loader.add_compartment("b")
+
+        def outer(ctx, value):
+            ctx.use_stack(64)
+            return ctx.call("b", "double", value) + 1
+
+        def double(ctx, value):
+            ctx.use_stack(64)
+            return value * 2
+
+        a.export("outer", outer)
+        b.export("double", double)
+        loader.link("a", "b", "double")
+        loader.link("a", "a", "outer")
+        token = a.get_import("a", "outer")
+        assert switcher.call(thread, token, 10) == 21
+        assert switcher.call_depth == 0
+
+    def test_sp_restored_after_call(self, two_compartments, switcher, thread):
+        client, _ = two_compartments
+        sp_before = thread.sp
+        switcher.call(thread, client.get_import("service", "ping"), 1)
+        assert thread.sp == sp_before
+
+    def test_cycles_charged(self, two_compartments, switcher, thread, core):
+        client, _ = two_compartments
+        before = core.cycles
+        switcher.call(thread, client.get_import("service", "ping"), 1)
+        assert core.cycles - before >= CROSS_CALL_INSTRS
+
+
+class TestTokenValidation:
+    def test_forged_unsealed_token_rejected(self, two_compartments, switcher, thread, roots):
+        forged = ImportToken(
+            "service", "ping",
+            roots.memory.set_address(0x2004_0000).set_bounds(16),
+        )
+        with pytest.raises(SealedFault):
+            switcher.call(thread, forged, 1)
+
+    def test_untagged_token_rejected(self, two_compartments, switcher, thread):
+        client, _ = two_compartments
+        good = client.get_import("service", "ping")
+        forged = ImportToken(
+            good.compartment_name, good.export_name, good.sealed_cap.untagged()
+        )
+        with pytest.raises(TagFault):
+            switcher.call(thread, forged, 1)
+
+    def test_wrong_otype_token_rejected(self, two_compartments, switcher, thread, roots):
+        seal = roots.sealing.set_address(3)  # allocator-token, not export
+        cap = roots.memory.set_address(0x2004_0000).set_bounds(16).seal(seal)
+        forged = ImportToken("service", "ping", cap)
+        with pytest.raises(SealedFault):
+            switcher.call(thread, forged, 1)
+
+
+class TestStackChopping:
+    def test_callee_stack_is_bounded_below_sp(self, loader, switcher, thread):
+        comp = loader.add_compartment("probe")
+        seen = {}
+
+        def probe(ctx):
+            seen["stack"] = ctx.stack_cap
+            return None
+
+        comp.export("probe", probe)
+        loader.link("probe", "probe", "probe")
+        switcher.call(thread, comp.get_import("probe", "probe"))
+        stack_cap = seen["stack"]
+        assert stack_cap.base == thread.stack_region.base
+        assert stack_cap.top <= thread.sp
+        assert P.SL in stack_cap.perms
+        assert stack_cap.is_local
+
+    def test_callee_cannot_see_caller_frames(self, loader, switcher, thread, bus):
+        """The chop: callee's stack capability tops out at the caller's
+
+        SP, so the caller's frames are simply not addressable."""
+        comp = loader.add_compartment("probe")
+        caller_frame = thread.sp + 8  # inside the caller's used region
+
+        def probe(ctx):
+            with pytest.raises(Exception):
+                ctx.stack_cap.check_access(caller_frame, 4, (P.LD,))
+            return True
+
+        comp.export("probe", probe)
+        loader.link("probe", "probe", "probe")
+        assert switcher.call(thread, comp.get_import("probe", "probe"))
+
+
+class TestStackZeroing:
+    def _leaky_pair(self, loader):
+        comp = loader.add_compartment("leaky")
+
+        def write_secret(ctx):
+            ctx.use_stack(64)
+            ctx.switcher.bus.write_word(ctx.sp + 8, 0x5EC9E7, 4)
+            return ctx.sp + 8
+
+        def read_addr(ctx, address):
+            return ctx.switcher.bus.read_word(address, 4)
+
+        comp.export("write_secret", write_secret)
+        comp.export("read_addr", read_addr)
+        loader.link("leaky", "leaky", "write_secret")
+        loader.link("leaky", "leaky", "read_addr")
+        return comp
+
+    def test_callee_stack_zeroed_on_return(self, loader, switcher, thread):
+        comp = self._leaky_pair(loader)
+        address = switcher.call(thread, comp.get_import("leaky", "write_secret"))
+        leaked = switcher.call(thread, comp.get_import("leaky", "read_addr"), address)
+        assert leaked == 0  # the switcher zeroed the callee's frame
+
+    def test_hwm_bounds_zeroing(self, loader, switcher, thread, core, csr):
+        """With the HWM, only the dirtied bytes are cleared; without,
+
+        the entire unused stack is — the paper's 5.2.1 mechanism."""
+        comp = loader.add_compartment("busy")
+
+        def entry(ctx):
+            ctx.use_stack(64)
+
+        comp.export("entry", entry)
+        loader.link("busy", "busy", "entry")
+        token = comp.get_import("busy", "entry")
+        switcher.stats.bytes_zeroed = 0
+        switcher.call(thread, token)
+        with_hwm = switcher.stats.bytes_zeroed
+
+        csr.hwm_enabled = False
+        switcher.stats.bytes_zeroed = 0
+        switcher.call(thread, token)
+        without_hwm = switcher.stats.bytes_zeroed
+        assert with_hwm < without_hwm
+        # Without HWM both directions clear the whole unused region.
+        unused = thread.sp - thread.stack_region.base
+        assert without_hwm == 2 * unused
+
+
+class TestEphemeralDelegation:
+    def test_local_argument_cannot_be_captured(self, loader, switcher, thread, roots):
+        """Section 5.2: strip GL from an argument and the callee can
+
+        store it only on its (zeroed-on-return) stack."""
+        comp = loader.add_compartment("grabby")
+
+        def grab(ctx, cap):
+            with pytest.raises(PermissionFault):
+                ctx.store_global_cap("stolen", cap)
+            # The stack *is* allowed (SL) ...
+            ctx.store_stack_cap(0, cap)
+            return True
+
+        comp.export("grab", grab)
+        loader.link("grabby", "grabby", "grab")
+        delegated = (
+            roots.memory.set_address(0x2004_1000).set_bounds(64).make_local()
+        )
+        assert switcher.call(thread, comp.get_import("grabby", "grab"), delegated)
+        # ... but the frame was zeroed on return: nothing survives.
+        bank = switcher.bus.bank_for(thread.stack_region.base, 8)
+        assert list(bank.tagged_granules(
+            thread.stack_region.base, thread.sp
+        )) == []
+
+    def test_global_argument_can_be_captured(self, loader, switcher, thread, roots):
+        comp = loader.add_compartment("keeper")
+
+        def keep(ctx, cap):
+            ctx.store_global_cap("kept", cap)
+            return True
+
+        comp.export("keep", keep)
+        loader.link("keeper", "keeper", "keep")
+        shared = roots.memory.set_address(0x2004_1000).set_bounds(64)
+        assert switcher.call(thread, comp.get_import("keeper", "keep"), shared)
+        assert comp.load_global_cap("kept") == shared
+
+
+class TestInterruptPosture:
+    def test_disabled_export_runs_without_interrupts(
+        self, loader, switcher, thread, csr
+    ):
+        comp = loader.add_compartment("critical")
+        seen = {}
+
+        def entry(ctx):
+            seen["enabled"] = csr.interrupts_enabled
+
+        comp.export("entry", entry, posture=InterruptPosture.DISABLED)
+        loader.link("critical", "critical", "entry")
+        csr.interrupts_enabled = True
+        switcher.call(thread, comp.get_import("critical", "entry"))
+        assert seen["enabled"] is False
+        assert csr.interrupts_enabled is True  # restored
+
+    def test_posture_restored_after_exception(self, loader, switcher, thread, csr):
+        comp = loader.add_compartment("thrower")
+
+        def entry(ctx):
+            raise RuntimeError("callee exploded")
+
+        comp.export("entry", entry, posture=InterruptPosture.DISABLED)
+        loader.link("thrower", "thrower", "entry")
+        with pytest.raises(RuntimeError):
+            switcher.call(thread, comp.get_import("thrower", "entry"))
+        assert csr.interrupts_enabled
+        assert switcher.call_depth == 0

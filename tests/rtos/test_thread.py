@@ -1,0 +1,43 @@
+"""Tests for the Thread record and its stack invariants."""
+
+import pytest
+
+from repro.capability import Capability, Permission as P
+from repro.memory.layout import Region
+from repro.rtos.thread import Thread, ThreadState
+
+STACK = Region("t.stack", 0x2005_0000, 1024)
+
+
+def make_stack_cap(perms):
+    return Capability.from_bounds(STACK.base, STACK.size, perms)
+
+
+GOOD = {P.LD, P.SD, P.MC, P.SL, P.LM, P.LG}
+
+
+class TestThread:
+    def test_sp_defaults_to_top(self):
+        thread = Thread(1, "t", STACK, make_stack_cap(GOOD))
+        assert thread.sp == STACK.top
+        assert thread.stack_used == 0
+        assert thread.stack_free == STACK.size
+
+    def test_stack_cap_must_carry_sl(self):
+        with pytest.raises(ValueError):
+            Thread(1, "t", STACK, make_stack_cap(GOOD - {P.SL}))
+
+    def test_stack_cap_must_be_local(self):
+        with pytest.raises(ValueError):
+            Thread(1, "t", STACK, make_stack_cap(GOOD | {P.GL}))
+
+    def test_usage_accounting(self):
+        thread = Thread(1, "t", STACK, make_stack_cap(GOOD))
+        thread.sp = STACK.top - 256
+        assert thread.stack_used == 256
+        assert thread.stack_free == STACK.size - 256
+
+    def test_initial_state(self):
+        thread = Thread(1, "t", STACK, make_stack_cap(GOOD))
+        assert thread.state is ThreadState.READY
+        assert thread.hwm_state is None

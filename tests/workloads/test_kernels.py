@@ -1,0 +1,95 @@
+"""Cross-ISA validation: every kernel matches its Python oracle on
+
+both targets, with and without the compiler-bug modelling, and the
+initialized global data actually reaches simulated memory."""
+
+import pytest
+
+from repro.capability import Permission as P, make_roots
+from repro.cc.lower import Target, compile_module
+from repro.isa import CPU, ExecutionMode, assemble
+from repro.memory import SystemBus, TaggedMemory
+from repro.workloads.kernels import (
+    ALL_KERNELS,
+    binary_search_kernel,
+    bubble_sort_kernel,
+    crc32_kernel,
+    fibonacci_kernel,
+    string_search_kernel,
+)
+
+CODE_BASE = 0x2000_0000
+DATA_BASE = 0x2002_0000
+STACK_TOP = 0x2004_0000
+
+
+def execute(module, entry, args, target, fixed_compiler=False):
+    compiled = compile_module(
+        module, target, fixed_compiler=fixed_compiler, data_base=DATA_BASE
+    )
+    setup = "\n".join(f"li a{i}, {v}" for i, v in enumerate(args))
+    program = assemble(compiled.assembly + f"_start:\n{setup}\njal ra, {entry}\nhalt\n")
+
+    bus = SystemBus()
+    bus.attach_sram(TaggedMemory(CODE_BASE, 0x4_0000))
+    # Install initialized globals (the loader's .data copy).
+    for layout in compiled.globals_layout.values():
+        if layout.init:
+            bus.write_bytes(DATA_BASE + layout.offset, layout.init)
+
+    cheriot = target is Target.CHERIOT
+    cpu = CPU(bus, ExecutionMode.CHERIOT if cheriot else ExecutionMode.RV32E)
+    if cheriot:
+        roots = make_roots()
+        cpu.load_program(program, CODE_BASE, pcc=roots.executable, entry="_start")
+        cpu.regs.write(
+            2,
+            roots.memory.set_address(STACK_TOP - 0x4000)
+            .set_bounds(0x4000)
+            .set_address(STACK_TOP - 16)
+            .clear_perms(P.GL),
+        )
+        cpu.regs.write(3, roots.memory.set_address(DATA_BASE).set_bounds(0x8000))
+    else:
+        cpu.load_program(program, CODE_BASE, entry="_start")
+        cpu.regs.write_int(2, STACK_TOP - 16)
+        cpu.regs.write_int(3, DATA_BASE)
+    cpu.run(max_steps=5_000_000)
+    return cpu.regs.read_int(10)
+
+
+@pytest.mark.parametrize("builder", ALL_KERNELS, ids=lambda b: b.__name__)
+@pytest.mark.parametrize("target", [Target.RV32E, Target.CHERIOT])
+def test_kernel_matches_oracle(builder, target):
+    module, entry, args, oracle = builder()
+    assert execute(module, entry, args, target) == oracle
+
+
+@pytest.mark.parametrize("builder", ALL_KERNELS, ids=lambda b: b.__name__)
+def test_fixed_compiler_same_semantics(builder):
+    """The bug fixes change cycle counts, never answers."""
+    module, entry, args, oracle = builder()
+    assert execute(module, entry, args, Target.CHERIOT, fixed_compiler=True) == oracle
+
+
+class TestSpecificKernels:
+    def test_crc32_known_vector(self):
+        module, entry, args, oracle = crc32_kernel(b"123456789")
+        # The canonical CRC-32 check value.
+        assert oracle == 0xCBF43926
+        assert execute(module, entry, args, Target.CHERIOT) == 0xCBF43926
+
+    def test_search_miss_returns_minus_one(self):
+        module, entry, args, oracle = string_search_kernel(needle=b"zebra")
+        assert oracle == 0xFFFFFFFF
+        assert execute(module, entry, args, Target.RV32E) == 0xFFFFFFFF
+
+    def test_fibonacci_values(self):
+        for n, expected in ((0, 0), (1, 1), (10, 55), (47, 2971215073)):
+            module, entry, args, oracle = fibonacci_kernel(n)
+            assert oracle == expected
+
+    def test_binary_search_miss(self):
+        module, entry, args, oracle = binary_search_kernel(target=5000)
+        assert oracle == 0xFFFFFFFF
+        assert execute(module, entry, args, Target.CHERIOT) == 0xFFFFFFFF
