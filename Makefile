@@ -1,0 +1,18 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-speed bench-check
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+## Measure simulator speed and refresh the committed baseline.
+bench-speed:
+	$(PYTHON) tools/bench_speed.py
+
+## CI gate: fail if the simulator got >20% slower than the baseline.
+bench-check:
+	$(PYTHON) tools/check_bench_regression.py

@@ -1,0 +1,11 @@
+"""Small version compatibility shims shared across the package."""
+
+from __future__ import annotations
+
+import sys
+
+#: Extra keyword arguments for :func:`dataclasses.dataclass` enabling
+#: ``__slots__`` generation where the runtime supports it (3.10+).  On
+#: older interpreters the classes simply keep their ``__dict__``; all
+#: call sites must therefore avoid relying on slots for correctness.
+DATACLASS_SLOTS = {"slots": True} if sys.version_info >= (3, 10) else {}

@@ -1,0 +1,129 @@
+"""Simulator-speed measurement: how fast the ISA simulator itself runs.
+
+The paper's numbers are *architectural* (cycles, scores); this module
+measures the *host* wall-clock the simulator spends producing them, so
+the decode-once/execute-many executor can be tracked for regressions.
+Shared by ``benchmarks/bench_simspeed.py`` (pytest harness),
+``tools/bench_speed.py`` (writes ``BENCH_simspeed.json``) and
+``tools/check_bench_regression.py`` (CI gate).
+
+All workloads run the same *architectural* work regardless of executor
+configuration — only host time differs — so speed numbers are directly
+comparable across simulator revisions.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict
+
+from repro.capability import make_roots
+from repro.isa import CPU, ExecutionMode, assemble
+from repro.memory import SystemBus, TaggedMemory
+from repro.pipeline import CoreKind, make_core_model
+
+CODE_BASE = 0x2000_0000
+DATA_BASE = 0x2000_8000
+
+#: Seed (pre-optimization) reference numbers, measured on the same
+#: container the CI gate runs in.  Kept for the before/after record in
+#: ``BENCH_simspeed.json``; the regression gate compares against the
+#: committed *after* numbers, not these.
+SEED_BASELINE = {
+    "table3_iter1_seconds": 2.659,
+    "alu_loop_mips": 0.059,
+}
+
+_ALU_SOURCE = """
+    li a0, {count}
+loop:
+    addi a0, a0, -1
+    bnez a0, loop
+    halt
+"""
+
+_MEM_SOURCE = """
+    li a0, {count}
+    li a1, 0
+loop:
+    sw a1, 0(s0)
+    lw a2, 0(s0)
+    add a1, a1, a2
+    addi a0, a0, -1
+    bnez a0, loop
+    halt
+"""
+
+
+def _fresh_cpu(predecode: bool = True, timing: bool = True) -> CPU:
+    bus = SystemBus()
+    bus.attach_sram(TaggedMemory(CODE_BASE, 0x1_0000))
+    cpu = CPU(bus, ExecutionMode.CHERIOT, predecode=predecode)
+    if timing:
+        cpu.timing = make_core_model(CoreKind.IBEX)
+    return cpu
+
+
+def _run_source(source: str, predecode: bool) -> Dict[str, float]:
+    """Time one program end-to-end; returns seconds / instructions / MIPS."""
+    roots = make_roots()
+    cpu = _fresh_cpu(predecode=predecode)
+    cpu.load_program(assemble(source), CODE_BASE, pcc=roots.executable)
+    cpu.regs.write(8, roots.memory.set_address(DATA_BASE).set_bounds(64))
+    start = time.perf_counter()
+    cpu.run(max_steps=50_000_000)
+    seconds = time.perf_counter() - start
+    instructions = cpu.stats.instructions
+    return {
+        "seconds": seconds,
+        "instructions": instructions,
+        "mips": instructions / seconds / 1e6 if seconds > 0 else 0.0,
+    }
+
+
+def measure_alu_loop(count: int = 200_000, predecode: bool = True) -> Dict[str, float]:
+    """A tight countdown loop: pure fetch/dispatch/ALU throughput."""
+    return _run_source(_ALU_SOURCE.format(count=count), predecode)
+
+
+def measure_mem_loop(count: int = 50_000, predecode: bool = True) -> Dict[str, float]:
+    """Load/store loop: exercises the capability-checked memory path."""
+    return _run_source(_MEM_SOURCE.format(count=count), predecode)
+
+
+def measure_table3_iter1() -> Dict[str, float]:
+    """Wall-clock of one full Table 3 reproduction (the CoreMark
+    workalike under all six core/config combinations)."""
+    from repro.workloads.coremark import table3
+
+    start = time.perf_counter()
+    table3(iterations=1)
+    seconds = time.perf_counter() - start
+    return {"seconds": seconds}
+
+
+def measure_all() -> Dict[str, Dict[str, float]]:
+    """The workload set recorded in ``BENCH_simspeed.json``."""
+    return {
+        "alu_loop": measure_alu_loop(),
+        "mem_loop": measure_mem_loop(),
+        "table3_iter1": measure_table3_iter1(),
+    }
+
+
+def host_speed_probe(repeats: int = 3) -> float:
+    """Seconds for a fixed pure-Python workload (best of ``repeats``).
+
+    The probe is independent of the simulator but dominated by the same
+    cost — CPython bytecode dispatch — so the regression gate can divide
+    out host-speed drift (shared CI machines vary well beyond any useful
+    threshold) and still catch genuine simulator slowdowns.
+    """
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        acc = 0
+        for i in range(1_500_000):
+            acc += i & 0xFF
+        best = min(best, time.perf_counter() - start)
+    return best

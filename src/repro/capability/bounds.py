@@ -36,6 +36,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro._compat import DATACLASS_SLOTS
+
 #: Width of the address space in bits.
 ADDRESS_BITS = 32
 #: Number of bits in each of the B and T fields.
@@ -55,7 +57,7 @@ class BoundsError(ValueError):
     """Requested bounds cannot be represented (e.g. length > 2**32)."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **DATACLASS_SLOTS)
 class EncodedBounds:
     """The stored (E, B, T) triple of a capability."""
 

@@ -18,9 +18,11 @@ specifies invalidation (address moves outside the representable region).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from functools import cached_property
+from dataclasses import dataclass, field, replace
+from functools import lru_cache
 from typing import Iterable, Optional, Tuple
+
+from repro._compat import DATACLASS_SLOTS
 
 from . import bounds as bounds_mod
 from . import compression
@@ -42,7 +44,20 @@ _ADDR_MASK = (1 << bounds_mod.ADDRESS_BITS) - 1
 CAP_SIZE_BYTES = 8
 
 
-@dataclass(frozen=True)
+@lru_cache(maxsize=4096)
+def _perm_mask(perms: PermSet) -> int:
+    """Combined ``Permission.value`` bitmask of a permission set.
+
+    ``Permission`` is an ``enum.Flag``, so each member carries a distinct
+    bit; the mask supports the executor's branch-free permission checks.
+    """
+    mask = 0
+    for perm in perms:
+        mask |= perm.value
+    return mask
+
+
+@dataclass(frozen=True, **DATACLASS_SLOTS)
 class Capability:
     """An architectural CHERIoT capability.
 
@@ -57,13 +72,19 @@ class Capability:
     otype: int = otypes_mod.OTYPE_UNSEALED
     tag: bool = False
     reserved: bool = False
+    #: Lazily-computed decoded ``(base, top)`` cache.  Bounds decoding is
+    #: deterministic in (address, bounds), so the cache never needs
+    #: invalidation on an immutable value.
+    _dec: Optional[Tuple[int, int]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not 0 <= self.address <= _ADDR_MASK:
             raise ValueError(f"address out of range: {self.address:#x}")
         if not otypes_mod.is_valid_otype(self.otype):
             raise OTypeFault(f"otype out of range: {self.otype}")
-        if compression.normalize(self.perms) != frozenset(self.perms):
+        if compression.normalize(self.perms) != self.perms:
             raise ValueError(f"permission set not representable: {self.perms}")
 
     # ------------------------------------------------------------------
@@ -73,9 +94,11 @@ class Capability:
     @staticmethod
     def null(address: int = 0) -> "Capability":
         """The NULL capability: untagged, no permissions, zero bounds."""
+        if address == 0:
+            return _NULL_CAP
         return Capability(
             address=address & _ADDR_MASK,
-            bounds=EncodedBounds(0, 0, 0),
+            bounds=_NULL_BOUNDS,
             perms=NO_PERMS,
             tag=False,
         )
@@ -117,9 +140,14 @@ class Capability:
     # Decoded views
     # ------------------------------------------------------------------
 
-    @cached_property
+    @property
     def _decoded_bounds(self) -> Tuple[int, int]:
-        return bounds_mod.decode(self.address, self.bounds)
+        """Decoded ``(base, top)``, cached in a slot on first use."""
+        dec = self._dec
+        if dec is None:
+            dec = bounds_mod.decode(self.address, self.bounds)
+            object.__setattr__(self, "_dec", dec)
+        return dec
 
     @property
     def base(self) -> int:
@@ -130,6 +158,11 @@ class Capability:
     def top(self) -> int:
         """Decoded exclusive upper bound (may be ``2**32``)."""
         return self._decoded_bounds[1]
+
+    @property
+    def perm_bits(self) -> int:
+        """Permission set as a combined ``Permission.value`` bitmask."""
+        return _perm_mask(self.perms)
 
     @property
     def length(self) -> int:
@@ -186,12 +219,20 @@ class Capability:
         change the decoded bounds clears the tag (section 3.2.3).
         """
         address &= _ADDR_MASK
-        new = replace(self, address=address)
-        if self.tag and (
-            self.is_sealed
-            or not bounds_mod.is_representable(address, self.bounds, self.base, self.top)
-        ):
-            new = replace(new, tag=False)
+        tag = False
+        verified = False  # representability actually checked and held
+        if self.tag and not self.is_sealed:
+            verified = bounds_mod.is_representable(
+                address, self.bounds, self.base, self.top
+            )
+            tag = verified
+        new = Capability(
+            address, self.bounds, self.perms, self.otype, tag, self.reserved
+        )
+        if verified and self._dec is not None:
+            # The decode is unchanged by construction; seed the cache so
+            # the derived capability never re-decodes its bounds.
+            object.__setattr__(new, "_dec", self._dec)
         return new
 
     def inc_address(self, delta: int) -> "Capability":
@@ -287,6 +328,23 @@ class Capability:
     # Dereference checks (used by the memory system and ISA)
     # ------------------------------------------------------------------
 
+    def allows(self, address: int, size: int, need_bits: int) -> bool:
+        """Exception-free fast path of :meth:`check_access`.
+
+        ``need_bits`` is a pre-combined ``Permission.value`` mask.  Returns
+        True when the access is authorized; on False the caller should run
+        :meth:`check_access` to raise the architecturally-ordered fault.
+        """
+        if not self.tag or self.otype != otypes_mod.OTYPE_UNSEALED:
+            return False
+        if need_bits & ~_perm_mask(self.perms):
+            return False
+        dec = self._dec
+        if dec is None:
+            dec = bounds_mod.decode(self.address, self.bounds)
+            object.__setattr__(self, "_dec", dec)
+        return dec[0] <= address and address + size <= dec[1]
+
     def check_access(
         self, address: int, size: int, required: Iterable[Permission]
     ) -> None:
@@ -328,6 +386,14 @@ class Capability:
             f"<Cap {tag} {self.address:#010x} [{self.base:#x},{self.top:#x})"
             f" {perms}{seal}>"
         )
+
+
+#: Shared bounds/value for NULL-derived (integer) capabilities.  NULL
+#: capabilities are immutable and compare by value, so interning the
+#: all-zero instance is safe and removes a construction from every
+#: integer register write.
+_NULL_BOUNDS = EncodedBounds(0, 0, 0)
+_NULL_CAP = Capability(address=0, bounds=_NULL_BOUNDS, perms=NO_PERMS, tag=False)
 
 
 def _check_seal_authority(authority: Capability, needed: Permission) -> None:

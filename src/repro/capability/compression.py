@@ -31,6 +31,8 @@ manipulation remains monotone even through compression.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from .permissions import Permission as P
 from .permissions import PermSet
 
@@ -91,7 +93,14 @@ def normalize(perms: PermSet) -> PermSet:
        permission lingers.
     5. GL survives in every format.
     """
-    held = frozenset(perms)
+    return _normalize_cached(frozenset(perms))
+
+
+# There are only 2**12 possible input sets, so the cache converges to a
+# total memo; normalize() sits on the per-instruction capability hot
+# path (every Capability construction validates through it).
+@lru_cache(maxsize=4096)
+def _normalize_cached(held: PermSet) -> PermSet:
     gl = held & {P.GL}
     if P.EX in held and P.LD in held and P.MC in held and P.SD not in held:
         return frozenset({P.EX, P.LD, P.MC}) | gl | (held & {P.SR, P.LM, P.LG})

@@ -14,8 +14,10 @@ execution modes so the evaluation can compare like the paper does:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Callable, Optional
+from dataclasses import dataclass, field, fields
+from typing import Callable, List, Optional, Tuple
+
+from repro._compat import DATACLASS_SLOTS
 
 from repro.capability import (
     Capability,
@@ -68,7 +70,7 @@ class Halted(Exception):
     """Raised by the ``halt`` instruction to end simulation cleanly."""
 
 
-@dataclass
+@dataclass(**DATACLASS_SLOTS)
 class ExecStats:
     """Retired-instruction event counts (input to the timing models)."""
 
@@ -85,8 +87,10 @@ class ExecStats:
     traps: int = 0
 
     def reset(self) -> None:
-        for name in vars(self):
-            setattr(self, name, 0)
+        # Derived from the dataclass fields so new counters can never be
+        # missed (the drift hazard of a hand-maintained list).
+        for f in fields(self):
+            setattr(self, f.name, 0)
 
 
 def _signed(value: int) -> int:
@@ -106,12 +110,27 @@ class CPU:
         timing=None,
         hwm_enabled: bool = True,
         cfi_strict: bool = False,
+        predecode: bool = True,
     ) -> None:
         self.bus = bus
         self.mode = mode
         self.load_filter = load_filter
         self.pmp = pmp
         self.timing = timing
+        #: Decode-once, execute-many: with ``predecode`` (the default)
+        #: the handler and operand metadata of every instruction are
+        #: resolved at :meth:`load_program` time.  ``predecode=False``
+        #: keeps the seed's per-step interpretive dispatch — the
+        #: reference semantics the differential tests compare against.
+        self._predecode = predecode
+        self._decoded: Optional[List[tuple]] = None
+        #: Cached executable window of the current PCC: instruction fetch
+        #: is a two-comparison check while the PC stays inside
+        #: ``[_fetch_lo, _fetch_hi]``; any PCC replacement recomputes it
+        #: (see the ``pcc`` property).  An impossible window (lo > hi)
+        #: forces the slow path, which raises the architectural fault.
+        self._fetch_lo = 1
+        self._fetch_hi = 0
         #: The paper's footnote 4: later CHERIoT revisions distinguish
         #: forward and backward control-flow arcs.  With ``cfi_strict``
         #: a *call* (``jalr`` writing a link register) may not consume a
@@ -124,7 +143,7 @@ class CPU:
         self.program: Optional[Program] = None
         self.code_base = 0
         self.pc = 0
-        self.pcc: Capability = Capability.null()
+        self.pcc = Capability.null()
         #: Optional hook invoked by ``ecall`` with the CPU; when None an
         #: ECALL trap is raised instead.
         self.ecall_handler: Optional[Callable[["CPU"], None]] = None
@@ -137,6 +156,33 @@ class CPU:
         #: Optional :class:`repro.isa.timer.ClintTimer` polled per step.
         self.timer = None
         self._halted = False
+
+    # ------------------------------------------------------------------
+    # PCC and its cached fetch window
+    # ------------------------------------------------------------------
+
+    @property
+    def pcc(self) -> Capability:
+        return self._pcc
+
+    @pcc.setter
+    def pcc(self, cap: Capability) -> None:
+        """Install a PCC and precompute its executable fetch window.
+
+        The fast fetch path relies on the invariant that for a tagged,
+        unsealed capability every in-bounds address is representable
+        (CHERIoT's correction-table decode reproduces (base, top) for any
+        address inside the bounds), so a window hit implies the seed's
+        ``set_address`` + ``check_access`` sequence would have succeeded.
+        """
+        self._pcc = cap
+        if cap.tag and not cap.is_sealed and Permission.EX in cap.perms:
+            base, top = cap.base, cap.top
+            self._fetch_lo = base
+            self._fetch_hi = top - 4
+        else:
+            self._fetch_lo = 1
+            self._fetch_hi = 0
 
     # ------------------------------------------------------------------
     # Program control
@@ -162,6 +208,7 @@ class CPU:
             if pcc is None:
                 raise ValueError("CHERIoT mode requires a PCC")
             self.pcc = pcc.set_address(self.pc)
+        self._decoded = _decode_program(program) if self._predecode else None
         self._halted = False
 
     @property
@@ -174,11 +221,17 @@ class CPU:
             if self.timer is not None:
                 self.timer.tick(self)
             try:
-                self.step()
+                if self._decoded is not None:
+                    self._step_fast()
+                else:
+                    self._step_interp()
             except Halted:
                 self._halted = True
                 return self.stats
-        raise RuntimeError(f"program exceeded {max_steps} steps")
+        raise RuntimeError(
+            f"program exceeded {max_steps} steps "
+            f"(pc={self.pc:#010x}, retired={self.stats.instructions})"
+        )
 
     # ------------------------------------------------------------------
     # Single step
@@ -206,6 +259,70 @@ class CPU:
         one is installed; otherwise the :class:`Trap` propagates to the
         caller (convenient for tests and bare-metal benchmarks).
         """
+        if self._decoded is not None:
+            self._step_fast()
+        else:
+            self._step_interp()
+
+    def _step_fast(self) -> None:
+        """Pre-decoded step: handler and operand metadata come from the
+        table built at load time; the PCC check is two comparisons while
+        the PC stays inside the cached executable window."""
+        if (
+            self.interrupt_pending is not None
+            and self.csr.interrupts_enabled
+            and self._trap_vector_installed()
+        ):
+            cause = self.interrupt_pending
+            self.interrupt_pending = None
+            self._vector(Trap(cause, self.pc))
+            return
+        pc = self.pc
+        try:
+            decoded = self._decoded
+            index = (pc - self.code_base) >> 2
+            if pc & 3 or not 0 <= index < len(decoded):
+                raise Trap(TrapCause.CHERI_BOUNDS, pc, "pc outside program")
+            if self.mode is ExecutionMode.CHERIOT and not (
+                self._fetch_lo <= pc <= self._fetch_hi
+            ):
+                self._fetch_pcc_check(pc)
+            handler, operands, instr, dest, srcs = decoded[index]
+            next_pc = pc + 4
+            info = _RetireInfo(
+                instr, pc, dest_reg=dest, source_regs=srcs
+            )
+            try:
+                next_pc = handler(self, operands, next_pc, info)
+            except CapabilityError as fault:
+                self.stats.traps += 1
+                raise trap_from_capability_fault(fault, pc) from fault
+            except PMPViolation as fault:
+                self.stats.traps += 1
+                raise Trap(TrapCause.PMP_FAULT, pc, str(fault)) from fault
+        except Trap as trap:
+            if self._trap_vector_installed():
+                self._vector(trap)
+                return
+            raise
+        self.stats.instructions += 1
+        if self.timing is not None:
+            self.timing.retire(instr, info)
+        self.pc = next_pc
+
+    def _fetch_pcc_check(self, pc: int) -> None:
+        """Window miss: run the seed's authorization sequence so the
+        architectural fault (tag/seal/permission/bounds) is identical."""
+        try:
+            self.pcc = self._pcc.set_address(pc)
+            self._pcc.check_access(pc, 4, (Permission.EX,))
+        except CapabilityError as fault:
+            raise trap_from_capability_fault(fault, pc) from fault
+
+    def _step_interp(self) -> None:
+        """The seed's interpretive step: string-keyed dispatch and a full
+        PCC authorization per fetch.  Kept as the reference semantics for
+        the differential golden-trace tests (``predecode=False``)."""
         if (
             self.interrupt_pending is not None
             and self.csr.interrupts_enabled
@@ -288,23 +405,18 @@ class CPU:
 
         Returns the effective address.  ``kind`` is ``"r"`` or ``"w"``
         for data, ``"cr"``/``"cw"`` for capability-width access.
+
+        The authorization runs an exception-free inlined bounds and
+        permission test first; only a failing access falls back to
+        :meth:`Capability.check_access`, which raises the architectural
+        fault in hardware order (tag, seal, permission, bounds).
         """
         offset, reg = operand
         authority = self.regs.read(reg)
         address = (authority.address + offset) & _WORD
         if self.mode is ExecutionMode.CHERIOT:
-            if kind == "r":
-                authority.check_access(address, size, (Permission.LD,))
-            elif kind == "w":
-                authority.check_access(address, size, (Permission.SD,))
-            elif kind == "cr":
-                authority.check_access(
-                    address, size, (Permission.LD, Permission.MC)
-                )
-            else:  # cw
-                authority.check_access(
-                    address, size, (Permission.SD, Permission.MC)
-                )
+            if not authority.allows(address, size, _KIND_BITS[kind]):
+                authority.check_access(address, size, _KIND_PERMS[kind])
         elif self.pmp is not None:
             self.pmp.check(address, size, "r" if kind in ("r", "cr") else "w")
         if address % size:
@@ -477,35 +589,57 @@ class CPU:
         raise Trap(TrapCause.ECALL, self.pc)
 
 
-@dataclass
+#: Sentinel distinguishing "not supplied" from a legitimate ``None``
+#: destination register in :class:`_RetireInfo`.
+_UNSET = object()
+
+
+def _operand_regs(instr: Instruction) -> "Tuple[Optional[int], tuple]":
+    """``(dest_reg, source_regs)`` derived from the operand signature.
+
+    Computed once per instruction at decode time; the per-retire path
+    reads the precomputed tuples instead of re-splitting the signature.
+    """
+    spec = instr._spec
+    if spec is None:
+        return None, ()
+    dest: Optional[int] = None
+    sources = []
+    for kind, operand in zip(spec.kinds, instr.operands):
+        if kind == "rd":
+            if dest is None:
+                dest = operand
+        elif kind in ("rs", "rt"):
+            sources.append(operand)
+        elif kind == "mem":
+            sources.append(operand[1])
+    return dest, tuple(sources)
+
+
+@dataclass(**DATACLASS_SLOTS)
 class _RetireInfo:
-    """Per-instruction facts handed to the timing model."""
+    """Per-instruction facts handed to the timing model.
+
+    ``dest_reg`` and ``source_regs`` are normally supplied from the
+    pre-decoded table; when constructed bare (tests, interpretive mode)
+    they are derived from the instruction's operand signature.
+    """
 
     instr: Instruction
     pc: int = 0
     branch_taken: bool = False
     mem_dest: Optional[int] = None  # destination register of a load
     cap_load: bool = False
+    dest_reg: object = _UNSET
+    source_regs: object = _UNSET
 
-    @property
-    def dest_reg(self) -> Optional[int]:
-        """Destination register, derived from the operand signature."""
-        kinds = [k for k in self.instr.spec.signature.split(",") if k]
-        for kind, operand in zip(kinds, self.instr.operands):
-            if kind == "rd":
-                return operand
-        return None
-
-    @property
-    def source_regs(self) -> "tuple":
-        kinds = [k for k in self.instr.spec.signature.split(",") if k]
-        sources = []
-        for kind, operand in zip(kinds, self.instr.operands):
-            if kind in ("rs", "rt"):
-                sources.append(operand)
-            elif kind == "mem":
-                sources.append(operand[1])
-        return tuple(sources)
+    def __post_init__(self) -> None:
+        if self.dest_reg is _UNSET or self.source_regs is _UNSET:
+            dest, srcs = _operand_regs(self.instr)
+            if self.dest_reg is _UNSET:
+                self.dest_reg = dest
+            if self.source_regs is _UNSET:
+                self.source_regs = srcs
 
 
 def _build_dispatch():
@@ -839,3 +973,50 @@ def _build_dispatch():
 
 
 _DISPATCH = _build_dispatch()
+
+#: Pre-combined ``Permission.value`` masks for the fast memory-access
+#: check, keyed by the ``_mem_address`` kind, and the architectural
+#: permission tuples for the fault-raising fallback (order matters: the
+#: fault names the first missing permission, like the seed did).
+_KIND_PERMS = {
+    "r": (Permission.LD,),
+    "w": (Permission.SD,),
+    "cr": (Permission.LD, Permission.MC),
+    "cw": (Permission.SD, Permission.MC),
+}
+_KIND_BITS = {
+    kind: sum(p.value for p in perms) for kind, perms in _KIND_PERMS.items()
+}
+
+
+def _illegal_instruction_handler(mnemonic: str):
+    """Handler bound at decode time for mnemonics without semantics.
+
+    The trap is raised at *execute* time (matching hardware decode — a
+    program carrying an unknown instruction only faults if it reaches
+    it), with the seed's exact message.
+    """
+
+    def _illegal(cpu, ops, npc, info):
+        raise Trap(
+            TrapCause.ILLEGAL_INSTRUCTION, cpu.pc, f"no handler: {mnemonic}"
+        )
+
+    return _illegal
+
+
+def _decode_program(program: Program) -> "List[tuple]":
+    """Decode once, execute many: bind handlers and operand metadata.
+
+    Each entry is ``(handler, operands, instr, dest_reg, source_regs)``,
+    indexed by instruction position — everything the hot step loop needs
+    without a string-keyed dispatch lookup or signature re-parse.
+    """
+    decoded = []
+    for instr in program.instructions:
+        handler = _DISPATCH.get(instr.mnemonic)
+        if handler is None:
+            handler = _illegal_instruction_handler(instr.mnemonic)
+        dest, srcs = _operand_regs(instr)
+        decoded.append((handler, instr.operands, instr, dest, srcs))
+    return decoded

@@ -30,7 +30,9 @@ class       meaning
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
+
+from repro._compat import DATACLASS_SLOTS
 
 # Timing classes
 ALU = "ALU"
@@ -47,13 +49,24 @@ CSR = "CSR"
 SYSTEM = "SYSTEM"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **DATACLASS_SLOTS)
 class InstructionSpec:
     """Static description of one mnemonic."""
 
     mnemonic: str
     signature: str  # comma-separated operand kinds, see assembler
     timing_class: str
+    #: The signature split into operand kinds, parsed once at table
+    #: construction so neither the assembler nor the executor re-splits
+    #: the string per instruction.
+    kinds: Tuple[str, ...] = field(
+        default=(), init=False, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "kinds", tuple(k for k in self.signature.split(",") if k)
+        )
 
 
 def _spec(mnemonic: str, signature: str, timing_class: str) -> "Tuple[str, InstructionSpec]":
@@ -166,7 +179,7 @@ INSTRUCTION_SPECS: Dict[str, InstructionSpec] = dict(
 )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **DATACLASS_SLOTS)
 class Instruction:
     """One decoded instruction.
 
@@ -178,10 +191,21 @@ class Instruction:
     mnemonic: str
     operands: Tuple = ()
     text: str = field(default="", compare=False)
+    #: Spec resolved once at construction (None for unknown mnemonics,
+    #: which only trap when executed — matching hardware decode).
+    _spec: Optional[InstructionSpec] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_spec", INSTRUCTION_SPECS.get(self.mnemonic))
 
     @property
     def spec(self) -> InstructionSpec:
-        return INSTRUCTION_SPECS[self.mnemonic]
+        spec = self._spec
+        if spec is None:
+            raise KeyError(self.mnemonic)
+        return spec
 
     @property
     def timing_class(self) -> str:

@@ -56,6 +56,8 @@ def register_index(name: str) -> int:
 class RegisterFile:
     """16 capability-width registers plus the SCRs."""
 
+    __slots__ = ("_regs", "_scrs")
+
     def __init__(self) -> None:
         self._regs: List[Capability] = [Capability.null() for _ in range(NUM_REGS)]
         self._scrs: Dict[str, Capability] = {n: Capability.null() for n in SCR_NAMES}

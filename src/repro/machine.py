@@ -20,7 +20,7 @@ cross-compartment call and stack-zeroing machinery.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields, is_dataclass
 from typing import Optional
 
 from repro.allocator import CheriHeap, TemporalSafetyMode
@@ -259,15 +259,22 @@ class System:
 
     def stats_summary(self) -> dict:
         """One dict of every subsystem's counters (for reports/tests)."""
+
+        def as_dict(stats) -> dict:
+            # Slotted stats dataclasses have no __dict__ for vars().
+            if is_dataclass(stats):
+                return {f.name: getattr(stats, f.name) for f in fields(stats)}
+            return vars(stats).copy()
+
         return {
             "cycles": self.core_model.cycles,
-            "bus": vars(self.bus.stats).copy(),
-            "heap": vars(self.allocator.stats).copy(),
-            "switcher": vars(self.switcher.stats).copy(),
-            "scheduler": vars(self.scheduler.stats).copy(),
-            "software_revoker": vars(self.software_revoker.stats).copy(),
-            "hardware_revoker": vars(self.hardware_revoker.stats).copy(),
-            "load_filter": vars(self.load_filter.stats).copy(),
+            "bus": as_dict(self.bus.stats),
+            "heap": as_dict(self.allocator.stats),
+            "switcher": as_dict(self.switcher.stats),
+            "scheduler": as_dict(self.scheduler.stats),
+            "software_revoker": as_dict(self.software_revoker.stats),
+            "hardware_revoker": as_dict(self.hardware_revoker.stats),
+            "load_filter": as_dict(self.load_filter.stats),
             "epoch": self.epoch.value,
             "quarantined_bytes": self.allocator.quarantined_bytes,
             "live_allocations": self.allocator.live_allocations,

@@ -12,9 +12,10 @@ the revoker can detect races with its in-flight capability words
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Protocol, Tuple
+from dataclasses import dataclass, field, fields
+from typing import Callable, List, Optional, Protocol, Tuple
 
+from repro._compat import DATACLASS_SLOTS
 from repro.capability import Capability
 from .tagged_memory import MemoryError_, TaggedMemory
 
@@ -29,7 +30,7 @@ class MMIODevice(Protocol):
         ...
 
 
-@dataclass
+@dataclass(**DATACLASS_SLOTS)
 class BusStats:
     """Access counters consumed by the pipeline timing models."""
 
@@ -41,12 +42,10 @@ class BusStats:
     mmio_writes: int = 0
 
     def reset(self) -> None:
-        self.data_reads = 0
-        self.data_writes = 0
-        self.cap_reads = 0
-        self.cap_writes = 0
-        self.mmio_reads = 0
-        self.mmio_writes = 0
+        # Derived from the dataclass fields so new counters can never be
+        # missed (the drift hazard of a hand-maintained list).
+        for f in fields(self):
+            setattr(self, f.name, 0)
 
 
 class SystemBus:

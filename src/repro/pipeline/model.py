@@ -21,9 +21,10 @@ cycles from one consistent cost base.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Optional
 
+from repro._compat import DATACLASS_SLOTS
 from repro.isa.instructions import (
     ALU,
     BRANCH,
@@ -73,7 +74,7 @@ class CoreTimingParams:
     load_filter_port_conflict: bool = False
 
 
-@dataclass
+@dataclass(**DATACLASS_SLOTS)
 class TimingStats:
     """Cycle breakdown for analysis and tests."""
 
@@ -82,9 +83,9 @@ class TimingStats:
     bus_beats: int = 0
 
     def reset(self) -> None:
-        self.cycles = 0
-        self.stall_cycles = 0
-        self.bus_beats = 0
+        # Field-derived so adding a counter can never miss the reset.
+        for f in fields(self):
+            setattr(self, f.name, 0)
 
 
 class CoreModel:
@@ -98,6 +99,42 @@ class CoreModel:
         # and the cycle at which its value becomes forwardable.
         self._pending_load_reg: Optional[int] = None
         self._pending_ready_at: int = 0
+        # Pre-classified charge tables: base cost and bus beats per
+        # timing class, folded from the params (and the load-filter
+        # configuration) once here so retire() never re-derives them.
+        p = params
+        filter_conflict = (
+            1 if load_filter_enabled and p.load_filter_port_conflict else 0
+        )
+        self._cload_extra = p.load_filter_penalty if load_filter_enabled else 0
+        self._base_cost = {
+            ALU: 1,
+            CAP: 1,
+            MUL: p.mul_cycles,
+            DIV: p.div_cycles,
+            LOAD: p.load_cycles,
+            CLOAD: p.load_cycles + (p.cap_access_beats - 1) + filter_conflict,
+            STORE: p.store_cycles,
+            CSTORE: p.store_cycles + (p.cap_access_beats - 1),
+            BRANCH: 1,
+            JUMP: 1 + p.jump_penalty,
+            CSR: p.csr_cycles,
+            SYSTEM: 1,
+        }
+        self._base_beats = {
+            ALU: 0,
+            CAP: 0,
+            MUL: 0,
+            DIV: 0,
+            LOAD: 1,
+            CLOAD: p.cap_access_beats + filter_conflict,
+            STORE: 1,
+            CSTORE: p.cap_access_beats,
+            BRANCH: 0,
+            JUMP: 0,
+            CSR: 0,
+            SYSTEM: 0,
+        }
 
     @property
     def name(self) -> str:
@@ -117,68 +154,57 @@ class CoreModel:
     # ------------------------------------------------------------------
 
     def retire(self, instr, info) -> None:
-        """Charge one retired instruction."""
-        p = self.params
+        """Charge one retired instruction.
+
+        Base cost and bus beats come from the tables pre-classified in
+        ``__init__``; only the dynamic parts (load-to-use stalls, taken
+        branches, the load hazard window) are computed here.  The charge
+        is bit-identical to the seed's re-classifying if-chain —
+        including its quirk that a stall only survives into the cycle
+        count for single-cycle (ALU/CAP) consumers, while other classes
+        overwrite it with their class cost.
+        """
+        stats = self.stats
         cls = instr.timing_class
-        cost = 1
 
         # Load-to-use hazard: stall if this instruction consumes the
         # register a previous load is still producing.
+        stall = 0
         if self._pending_load_reg is not None:
             if self._pending_load_reg in info.source_regs:
-                stall = max(0, self._pending_ready_at - self.stats.cycles)
-                cost += stall
-                self.stats.stall_cycles += stall
+                stall = self._pending_ready_at - stats.cycles
+                if stall < 0:
+                    stall = 0
+                stats.stall_cycles += stall
             self._pending_load_reg = None
 
-        pending_load: "Optional[tuple]" = None
-        if cls == ALU or cls == CAP:
-            cost += 0
-        elif cls == MUL:
-            cost = p.mul_cycles
-        elif cls == DIV:
-            cost = p.div_cycles
-        elif cls == LOAD:
-            cost = p.load_cycles
-            self.stats.bus_beats += 1
-            pending_load = (info.mem_dest, 0)
-        elif cls == CLOAD:
-            extra_beats = p.cap_access_beats - 1
-            cost = p.load_cycles + extra_beats
-            self.stats.bus_beats += p.cap_access_beats
-            filter_extra = 0
-            if self.load_filter_enabled:
-                filter_extra = p.load_filter_penalty
-                if p.load_filter_port_conflict:
-                    # The revocation-bit read occupies the memory port
-                    # for one extra slot on every capability load.
-                    cost += 1
-                    self.stats.bus_beats += 1
-            pending_load = (info.mem_dest, filter_extra)
-        elif cls == STORE:
-            cost = p.store_cycles
-            self.stats.bus_beats += 1
-        elif cls == CSTORE:
-            cost = p.store_cycles + (p.cap_access_beats - 1)
-            self.stats.bus_beats += p.cap_access_beats
-        elif cls == BRANCH:
-            cost = 1 + (p.branch_taken_penalty if info.branch_taken else 0)
-        elif cls == JUMP:
-            cost = 1 + p.jump_penalty
-        elif cls == CSR:
-            cost = p.csr_cycles
-        elif cls == SYSTEM:
-            cost = 1
-        self.stats.cycles += cost
-        if pending_load is not None:
+        pending_dest: Optional[int] = None
+        pending_extra = 0
+        cost = self._base_cost.get(cls)
+        if cost is None:
+            cost = 1 + stall  # unknown class: the seed's fall-through
+        else:
+            beats = self._base_beats[cls]
+            if beats:
+                stats.bus_beats += beats
+            if cls == ALU or cls == CAP:
+                cost += stall
+            elif cls == BRANCH:
+                if info.branch_taken:
+                    cost += self.params.branch_taken_penalty
+            elif cls == LOAD:
+                pending_dest = info.mem_dest
+            elif cls == CLOAD:
+                pending_dest = info.mem_dest
+                pending_extra = self._cload_extra
+        stats.cycles += cost
+        if pending_dest is not None:
             # The loaded value becomes forwardable load_use_penalty (plus
             # any load-filter latency) cycles after the load *retires*.
-            dest, extra = pending_load
-            if dest is not None:
-                self._pending_load_reg = dest
-                self._pending_ready_at = (
-                    self.stats.cycles + self.params.load_use_penalty + extra
-                )
+            self._pending_load_reg = pending_dest
+            self._pending_ready_at = (
+                stats.cycles + self.params.load_use_penalty + pending_extra
+            )
 
     # ------------------------------------------------------------------
     # Bulk cost helpers (used by the RTOS / allocator / revokers)

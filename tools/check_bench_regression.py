@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""CI gate: fail when the simulator got more than 20% slower.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python tools/check_bench_regression.py \
+        [--baseline BENCH_simspeed.json] [--threshold 0.20]
+
+Re-measures the workload set from :mod:`repro.analysis.simspeed` and
+compares each workload's wall-clock against the committed baseline.
+Exit status 1 if any workload regressed past the threshold.  Faster
+results only print (refresh the baseline with ``tools/bench_speed.py``
+when an optimization lands).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.analysis.simspeed import host_speed_probe, measure_all  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--baseline",
+        default="BENCH_simspeed.json",
+        help="baseline JSON from tools/bench_speed.py (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="allowed fractional wall-clock regression (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=3,
+        help="measurement repetitions; the best (minimum) time is kept",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.baseline) as fh:
+            report = json.load(fh)
+        baseline = report["workloads"]
+    except (OSError, KeyError, ValueError) as exc:
+        print(f"cannot read baseline {args.baseline!r}: {exc}", file=sys.stderr)
+        return 2
+
+    # Normalize out host-speed drift (shared machines vary more than the
+    # threshold): scale the baseline by how much slower or faster this
+    # host runs a fixed pure-Python probe than the baseline host did.
+    scale = 1.0
+    base_probe = report.get("probe_seconds")
+    if base_probe:
+        scale = host_speed_probe() / base_probe
+        print(f"  host speed probe: {scale:.2f}x baseline host")
+
+    best: dict = {}
+    for _ in range(max(1, args.repeat)):
+        for name, result in measure_all().items():
+            if name not in best or result["seconds"] < best[name]["seconds"]:
+                best[name] = result
+
+    failed = False
+    for name in sorted(baseline):
+        base = baseline[name]["seconds"] * scale
+        if name not in best:
+            print(f"  {name:<14} missing from current measurement", file=sys.stderr)
+            failed = True
+            continue
+        now = best[name]["seconds"]
+        ratio = now / base if base > 0 else float("inf")
+        status = "ok"
+        if ratio > 1.0 + args.threshold:
+            status = f"REGRESSION (> {args.threshold:.0%})"
+            failed = True
+        print(f"  {name:<14} baseline {base:.3f}s  now {now:.3f}s  "
+              f"({ratio - 1.0:+.1%} vs baseline)  {status}")
+
+    if failed:
+        print("simulator speed regression detected", file=sys.stderr)
+        return 1
+    print("simulator speed within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
