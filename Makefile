@@ -1,9 +1,12 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-speed bench-check
+## Fault-campaign preset for `make faults` (short or full).
+CAMPAIGN ?= short
 
-test:
+.PHONY: test bench bench-speed bench-check faults faults-check
+
+test: faults-check
 	$(PYTHON) -m pytest -x -q
 
 bench:
@@ -16,3 +19,17 @@ bench-speed:
 ## CI gate: fail if the simulator got >20% slower than the baseline.
 bench-check:
 	$(PYTHON) tools/check_bench_regression.py
+
+## Run a fault-injection campaign.  `make faults CAMPAIGN=full` refreshes
+## the committed BENCH_faults.json (10,000 injections); the default short
+## campaign only prints its tally.
+faults:
+ifeq ($(CAMPAIGN),full)
+	$(PYTHON) tools/fault_campaign.py --campaign full --check
+else
+	$(PYTHON) tools/fault_campaign.py --campaign short --check --output -
+endif
+
+## CI gate: zero escaped injections + detection-rate non-regression.
+faults-check:
+	$(PYTHON) tools/check_fault_regression.py

@@ -495,3 +495,72 @@ class CheriHeap:
     @property
     def quarantined_bytes(self) -> int:
         return self.quarantine.total_bytes
+
+    def iter_live(self):
+        """Yield ``(payload_base, chunk)`` for every live allocation."""
+        yield from self._live.items()
+
+    def iter_quarantined(self):
+        """Yield every chunk currently held in quarantine."""
+        yield from self.quarantine.iter_chunks()
+
+    def check_invariants(self) -> List[str]:
+        """Audit the allocator's safety invariants; returns violations.
+
+        The fault-injection monitor calls this after every injection: a
+        non-empty list means heap state an attacker (or particle) has
+        silently corrupted past the architectural checks.  Checked:
+
+        * live allocations lie inside the heap region and do not overlap;
+        * no live allocation's memory is painted in the revocation map
+          (a painted live granule would untag legitimate pointers — DoS,
+          not a safety escape, but still an invariant break);
+        * every quarantined chunk is fully painted (an unpainted granule
+          in quarantine is reachable through a stale pointer: a genuine
+          temporal-safety escape);
+        * quarantined chunks do not alias live allocations.
+        """
+        problems: List[str] = []
+        live = sorted(self._live.items())
+        prev_end = self.region.base
+        prev_base = None
+        for payload, chunk in live:
+            if chunk.address < self.region.base or chunk.end > self.region.top:
+                problems.append(
+                    f"live chunk {chunk.address:#x} outside heap region"
+                )
+            if chunk.address < prev_end and prev_base is not None:
+                problems.append(
+                    f"live chunks at {prev_base:#x} and {payload:#x} overlap"
+                )
+            prev_end = chunk.end
+            prev_base = payload
+            if self.mode is not TemporalSafetyMode.BASELINE:
+                for granule in range(
+                    chunk.address, chunk.end, self.revocation_map.granule_bytes
+                ):
+                    if self.revocation_map.is_revoked(granule):
+                        problems.append(
+                            f"live allocation {payload:#x} has revoked "
+                            f"granule {granule:#x}"
+                        )
+                        break
+        live_spans = [(c.address, c.end) for _, c in live]
+        for chunk in self.quarantine.iter_chunks():
+            if self.mode is not TemporalSafetyMode.BASELINE:
+                for granule in range(
+                    chunk.address, chunk.end, self.revocation_map.granule_bytes
+                ):
+                    if not self.revocation_map.is_revoked(granule):
+                        problems.append(
+                            f"quarantined chunk {chunk.address:#x} has "
+                            f"unpainted granule {granule:#x}"
+                        )
+                        break
+            for base, end in live_spans:
+                if chunk.address < end and base < chunk.end:
+                    problems.append(
+                        f"quarantined chunk {chunk.address:#x} aliases "
+                        f"live allocation at {base:#x}"
+                    )
+        return problems

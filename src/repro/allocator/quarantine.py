@@ -75,6 +75,11 @@ class Quarantine:
         self._lists = remaining
         return ready
 
+    def iter_chunks(self):
+        """Yield every quarantined chunk (oldest list first)."""
+        for entry in self._lists:
+            yield from entry.chunks
+
     def drain(self) -> List[Chunk]:
         """Unconditionally empty the quarantine (metadata-only mode)."""
         chunks = [c for entry in self._lists for c in entry.chunks]

@@ -1,0 +1,37 @@
+"""Seeded fault-injection campaigns over the simulated CHERIoT SoC.
+
+The paper's safety claims are universally quantified — *no* pointer
+corruption, *no* use-after-free, *no* compartment escape.  Unit tests
+check hand-picked attacks; this package checks the claims statistically:
+a deterministic engine (:mod:`engine`) injects thousands of seeded
+faults — tag flips, capability-metadata corruption, memory bit flips,
+register corruption and adversarial splices — into running systems, and
+an invariant monitor (:mod:`monitor`) classifies each injection's
+outcome.  Any *escaped* outcome (silent out-of-bounds access, untagged
+dereference succeeding, reachable revoked memory) is a falsified claim.
+
+Fault model (see ``docs/architecture.md``): injections are software-
+level adversarial actions — the paper's section 2.2 threat model of a
+compromised or buggy compartment — plus physical upsets routed through
+the *architectural* store path, where the tagged-memory invariant
+clears the affected granule's tag.  Upsets that set a tag-SRAM bit or
+flip capability metadata in place without traversing an architectural
+operation are out of scope: real silicon guards those arrays with
+ECC/parity, not with the capability model.
+"""
+
+from .outcomes import CampaignResult, FaultClass, InjectionRecord, Outcome
+from .engine import FaultInjector
+from .monitor import InvariantMonitor, authority_subset
+from .campaign import run_campaign
+
+__all__ = [
+    "CampaignResult",
+    "FaultClass",
+    "FaultInjector",
+    "InjectionRecord",
+    "InvariantMonitor",
+    "Outcome",
+    "authority_subset",
+    "run_campaign",
+]

@@ -1,0 +1,502 @@
+"""The seeded fault-injection engine.
+
+Every injection builds a *fresh* deterministic system, applies exactly
+one fault drawn from the seeded RNG, runs a fixed workload over the
+damaged state and classifies what happened.  Determinism is total: the
+same seed produces the same systems, the same faults, and the same
+outcome sequence, so a campaign result is bit-reproducible.
+
+The five fault classes:
+
+* ``TAG_FLIP`` — a tag-SRAM upset clears a stored capability's tag
+  (the 1→0 direction; 0→1 upsets would *mint* authority and are out of
+  the architectural scope — see the package docstring).
+* ``METADATA_CORRUPT`` — capability metadata attacked through the
+  architectural paths: bit flips through the store path (which clears
+  the tag), bounds-widening attempts, address warps, seal forgery.
+* ``MEM_BIT_FLIP`` — a single data bit flips in heap memory via the
+  store path; if the granule held a capability its tag dies with it.
+* ``REG_CORRUPT`` — a register is clobbered mid-program on a real
+  :class:`~repro.isa.executor.CPU` via the pre-step hook: untagging,
+  guarded address warps, integer garbage, loop-counter corruption.
+* ``SPLICE`` — adversarial RTOS scenarios: forged/relabelled import
+  tokens, stack clobbers inside a compartment, revoked-pointer replay
+  through quarantine, and error-handler recovery cycles.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional, Sequence, Tuple
+
+from repro.allocator import TemporalSafetyMode
+from repro.allocator.heap import HeapError
+from repro.capability import Capability, Permission, make_roots
+from repro.capability.errors import CapabilityError
+from repro.capability.otypes import RTOS_DATA_OTYPES
+from repro.isa import CPU, ExecutionMode, Trap, assemble
+from repro.machine import System
+from repro.memory import SystemBus, TaggedMemory
+from repro.pipeline import CoreKind
+from repro.rtos import CompartmentFault, RecoveryAction
+from repro.rtos.compartment import ImportToken
+
+from .monitor import InvariantMonitor, authority_subset
+from .outcomes import FaultClass, InjectionRecord, Outcome
+
+_CODE_BASE = 0x2000_0000
+_BUF_OFFSET = 0x8000
+_BUF_SIZE = 64
+
+#: The register-corruption workload: 16 word stores through the
+#: capability in ``ca0``, walking a 64-byte buffer.
+_REG_PROGRAM = """\
+li t1, 0xAB
+li t2, 16
+loop:
+sw t1, 0(a0)
+cincaddrimm a0, a0, 4
+addi t2, t2, -1
+bnez t2, loop
+halt
+"""
+
+
+class FaultInjector:
+    """Deterministic generator of single-fault experiments."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self._program = assemble(_REG_PROGRAM)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def inject(self, index: int, fault_class: FaultClass) -> InjectionRecord:
+        """Run one injection of ``fault_class``; returns its record."""
+        scenario, outcome, detail, wrong = {
+            FaultClass.TAG_FLIP: self._inject_tag_flip,
+            FaultClass.METADATA_CORRUPT: self._inject_metadata,
+            FaultClass.MEM_BIT_FLIP: self._inject_mem_bit_flip,
+            FaultClass.REG_CORRUPT: self._inject_reg_corrupt,
+            FaultClass.SPLICE: self._inject_splice,
+        }[fault_class]()
+        return InjectionRecord(index, fault_class, scenario, outcome, detail, wrong)
+
+    # ------------------------------------------------------------------
+    # Shared machinery
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _system() -> System:
+        return System.build(core=CoreKind.IBEX, mode=TemporalSafetyMode.HARDWARE)
+
+    @staticmethod
+    def _pattern(length: int) -> bytes:
+        return bytes((i * 7 + 3) & 0xFF for i in range(length))
+
+    def _classify(
+        self,
+        system: System,
+        scenario: str,
+        workload: Callable[[], bool],
+        probes: Sequence[Tuple[Capability, Capability]] = (),
+    ) -> Tuple[str, Outcome, str, bool]:
+        """Run the workload over injected state; probe for escapes.
+
+        ``workload`` returns True when it completed with correct data.
+        ``probes`` are ``(derived, original)`` capability pairs that must
+        satisfy :func:`authority_subset` afterwards.  Probe violations
+        override any other outcome — a contained fault that also broke
+        an invariant is still an escape.
+        """
+        wrong = False
+        outcome, detail = Outcome.MASKED, ""
+        try:
+            wrong = workload() is False
+        except CompartmentFault as fault:
+            outcome, detail = Outcome.CONTAINED, fault.cause_type
+        except (CapabilityError, Trap) as fault:
+            outcome, detail = Outcome.DETECTED, type(fault).__name__
+        except HeapError as fault:
+            # The allocator compartment's own argument validation.
+            outcome, detail = Outcome.DETECTED, type(fault).__name__
+        violation = self._probe(system, probes)
+        if violation is not None:
+            return scenario, Outcome.ESCAPED, violation, wrong
+        return scenario, outcome, detail, wrong
+
+    @staticmethod
+    def _probe(
+        system: System, probes: Sequence[Tuple[Capability, Capability]]
+    ) -> Optional[str]:
+        problems = InvariantMonitor(system).check()
+        if problems:
+            return problems[0]
+        for derived, original in probes:
+            if not authority_subset(derived, original):
+                return (
+                    f"authority widened: [{derived.base:#x}, {derived.top:#x}) "
+                    f"exceeds [{original.base:#x}, {original.top:#x})"
+                )
+        return None
+
+    def _mint_token(self, system: System, compartment: str, export: str) -> ImportToken:
+        """Mint an import token the way the loader would (post-build)."""
+        comp = system.switcher.compartment(compartment)
+        entry = system.switcher.register_export_entry(
+            compartment, export, comp.globals_cap
+        )
+        sealed = comp.globals_cap.set_address(entry).seal(
+            system.switcher.unseal_authority.set_address(
+                RTOS_DATA_OTYPES["compartment-export"]
+            )
+        )
+        return ImportToken(compartment, export, sealed)
+
+    # ------------------------------------------------------------------
+    # TAG_FLIP
+    # ------------------------------------------------------------------
+
+    def _inject_tag_flip(self):
+        system = self._system()
+        pattern = self._pattern(64)
+        objs = [system.malloc(64) for _ in range(3)]
+        holder = system.malloc(64)
+        system.bus.write_bytes(objs[0].base, pattern)
+        for i, obj in enumerate(objs):
+            system.bus.write_capability(holder.base + 8 * i, obj)
+        # The upset hits one stored capability's granule: slot 0 is
+        # dereferenced, slot 1 is passed to free(), slot 2 is never used.
+        slot = self.rng.randrange(3)
+        system.sram.clear_tag(holder.base + 8 * slot)
+        scenario = f"tag-flip:slot{slot}"
+
+        def workload() -> bool:
+            loaded = system.load_filter.filter(
+                system.bus.read_capability(holder.base)
+            )
+            loaded.check_access(loaded.base, 8, (Permission.LD,))
+            data = system.bus.read_bytes(loaded.base, 64)
+            freed = system.load_filter.filter(
+                system.bus.read_capability(holder.base + 8)
+            )
+            system.free(freed)
+            return data == pattern
+
+        probes = [
+            (system.bus.read_capability(holder.base + 8 * i), objs[i])
+            for i in range(3)
+        ]
+        return self._classify(system, scenario, workload, probes)
+
+    # ------------------------------------------------------------------
+    # METADATA_CORRUPT
+    # ------------------------------------------------------------------
+
+    def _inject_metadata(self):
+        system = self._system()
+        victim = system.malloc(64)
+        holder = system.malloc(64)
+        system.bus.write_capability(holder.base, victim)
+        variant = self.rng.choice(
+            ["store-bitflip", "widen", "addr-warp", "forge-seal"]
+        )
+        scenario = f"metadata:{variant}"
+
+        if variant == "store-bitflip":
+            # A bit of the stored capability's encoding flips through the
+            # architectural store path: the hardware invariant clears the
+            # granule's tag with it.
+            offset = self.rng.randrange(8)
+            bit = self.rng.randrange(8)
+            address = holder.base + offset
+            byte = system.bus.read_bytes(address, 1)[0]
+            system.bus.write_bytes(address, bytes([byte ^ (1 << bit)]))
+
+            def workload() -> bool:
+                loaded = system.load_filter.filter(
+                    system.bus.read_capability(holder.base)
+                )
+                loaded.check_access(loaded.address, 4, (Permission.LD,))
+                return True
+
+            probes = [(system.bus.read_capability(holder.base), victim)]
+            return self._classify(system, scenario, workload, probes)
+
+        if variant == "widen":
+            narrow = victim.set_bounds(8)
+
+            def workload() -> bool:
+                widened = narrow.set_bounds(self.rng.randrange(65, 4096))
+                widened.check_access(widened.base, 8, (Permission.LD,))
+                return True
+
+            return self._classify(system, scenario, workload, [(narrow, victim)])
+
+        if variant == "addr-warp":
+            warped = victim.set_address(self.rng.randrange(1 << 32))
+
+            def workload() -> bool:
+                warped.check_access(warped.address, 4, (Permission.LD,))
+                return True
+
+            return self._classify(system, scenario, workload, [(warped, victim)])
+
+        def workload() -> bool:
+            # A data capability posing as a sealing authority.
+            forged = victim.seal(holder)
+            forged.check_access(forged.address, 4, (Permission.LD,))
+            return True
+
+        return self._classify(system, scenario, workload, [(victim, victim)])
+
+    # ------------------------------------------------------------------
+    # MEM_BIT_FLIP
+    # ------------------------------------------------------------------
+
+    def _inject_mem_bit_flip(self):
+        system = self._system()
+        pattern = self._pattern(128)
+        victim = system.malloc(128)
+        holder = system.malloc(64)
+        system.bus.write_bytes(victim.base, pattern)
+        system.bus.write_capability(holder.base, victim)
+        # The particle strikes either plain data or the granule holding
+        # the stored capability.
+        if self.rng.random() < 0.75:
+            address = victim.base + self.rng.randrange(128)
+            scenario = "mem-bit-flip:data"
+        else:
+            address = holder.base + self.rng.randrange(8)
+            scenario = "mem-bit-flip:stored-cap"
+        bit = self.rng.randrange(8)
+        byte = system.bus.read_bytes(address, 1)[0]
+        system.bus.write_bytes(address, bytes([byte ^ (1 << bit)]))
+
+        def workload() -> bool:
+            loaded = system.load_filter.filter(
+                system.bus.read_capability(holder.base)
+            )
+            loaded.check_access(loaded.base, 8, (Permission.LD,))
+            return system.bus.read_bytes(loaded.base, 128) == pattern
+
+        probes = [(system.bus.read_capability(holder.base), victim)]
+        return self._classify(system, scenario, workload, probes)
+
+    # ------------------------------------------------------------------
+    # REG_CORRUPT
+    # ------------------------------------------------------------------
+
+    def _inject_reg_corrupt(self):
+        bus = SystemBus()
+        sram = bus.attach_sram(TaggedMemory(_CODE_BASE, 0x1_0000))
+        cpu = CPU(bus, ExecutionMode.CHERIOT)
+        roots = make_roots()
+        cpu.load_program(self._program, _CODE_BASE, pcc=roots.executable)
+        buf_base = _CODE_BASE + _BUF_OFFSET
+        cpu.regs.write(
+            10, roots.memory.set_address(buf_base).set_bounds(_BUF_SIZE)
+        )
+        variant = self.rng.choice(["untag", "addr", "garbage", "counter"])
+        scenario = f"reg-corrupt:{variant}"
+        trigger = self.rng.randrange(1, 68)
+        snapshot = sram.read_bytes(_CODE_BASE, sram.size)
+        state = {"step": 0}
+
+        def hook(cpu: CPU) -> None:
+            state["step"] += 1
+            if state["step"] != trigger:
+                return
+            if variant == "untag":
+                cpu.regs.write(10, cpu.regs.read(10).untagged())
+            elif variant == "addr":
+                cpu.regs.write(
+                    10, cpu.regs.read(10).set_address(self.rng.randrange(1 << 32))
+                )
+            elif variant == "garbage":
+                cpu.regs.write_int(10, self.rng.randrange(1 << 32))
+            else:  # counter: the loop register takes a wrong value
+                cpu.regs.write_int(7, self.rng.randrange(64))
+
+        cpu.pre_step_hook = hook
+        try:
+            cpu.run(max_steps=10_000)
+        except Trap as trap:
+            return scenario, Outcome.DETECTED, trap.cause.name, False
+        except CapabilityError as fault:
+            return scenario, Outcome.DETECTED, type(fault).__name__, False
+
+        after = sram.read_bytes(_CODE_BASE, sram.size)
+        lo, hi = _BUF_OFFSET, _BUF_OFFSET + _BUF_SIZE
+        if after[:lo] != snapshot[:lo] or after[hi:] != snapshot[hi:]:
+            return (
+                scenario,
+                Outcome.ESCAPED,
+                "store landed outside the authorized buffer",
+                False,
+            )
+        expected = bytes(
+            0xAB if i % 4 == 0 else 0 for i in range(_BUF_SIZE)
+        )
+        wrong = after[lo:hi] != expected
+        return scenario, Outcome.MASKED, "", wrong
+
+    # ------------------------------------------------------------------
+    # SPLICE
+    # ------------------------------------------------------------------
+
+    def _inject_splice(self):
+        variant = self.rng.choice(
+            [
+                "token-relabel",
+                "token-unsealed",
+                "token-null",
+                "stack-clobber",
+                "revoked-replay",
+                "restart-recovery",
+            ]
+        )
+        return getattr(self, "_splice_" + variant.replace("-", "_"))()
+
+    def _splice_token_relabel(self):
+        # Replay malloc's sealed capability under free's name: the
+        # export table must refuse the relabelling.
+        system = self._system()
+        real = system.app.get_import("alloc", "malloc")
+        forged = ImportToken("alloc", "free", real.sealed_cap)
+
+        def workload() -> bool:
+            system.switcher.call(system.main_thread, forged, system.malloc(32))
+            return True
+
+        scenario, outcome, detail, wrong = self._classify(
+            system, "splice:token-relabel", workload
+        )
+        if outcome is Outcome.MASKED:
+            return scenario, Outcome.ESCAPED, "relabelled token accepted", wrong
+        return scenario, outcome, detail, wrong
+
+    def _splice_token_unsealed(self):
+        system = self._system()
+        forged = ImportToken("alloc", "malloc", system.malloc(32))
+
+        def workload() -> bool:
+            system.switcher.call(system.main_thread, forged, 32)
+            return True
+
+        scenario, outcome, detail, wrong = self._classify(
+            system, "splice:token-unsealed", workload
+        )
+        if outcome is Outcome.MASKED:
+            return scenario, Outcome.ESCAPED, "unsealed token accepted", wrong
+        return scenario, outcome, detail, wrong
+
+    def _splice_token_null(self):
+        system = self._system()
+        forged = ImportToken(
+            "alloc", "malloc", Capability.null(self.rng.randrange(1 << 32))
+        )
+
+        def workload() -> bool:
+            system.switcher.call(system.main_thread, forged, 32)
+            return True
+
+        scenario, outcome, detail, wrong = self._classify(
+            system, "splice:token-null", workload
+        )
+        if outcome is Outcome.MASKED:
+            return scenario, Outcome.ESCAPED, "null token accepted", wrong
+        return scenario, outcome, detail, wrong
+
+    def _splice_stack_clobber(self):
+        system = self._system()
+        attack = self.rng.choice(["overflow", "oob-slot", "oob-walk"])
+        victim = system.malloc(64)
+
+        def evil(ctx):
+            if attack == "overflow":
+                ctx.use_stack(1 << 20)
+            elif attack == "oob-slot":
+                # A stack store far below the chopped stack capability.
+                ctx.store_stack_cap(1 << 16, victim)
+            else:
+                walked = victim.set_address(victim.top + 64)
+                walked.check_access(walked.address, 4, (Permission.SD,))
+            return True
+
+        system.app.export("evil", evil)
+        token = self._mint_token(system, "app", "evil")
+
+        def workload() -> bool:
+            system.switcher.call(system.main_thread, token)
+            return True
+
+        return self._classify(
+            system, f"splice:stack-clobber:{attack}", workload, [(victim, victim)]
+        )
+
+    def _splice_revoked_replay(self):
+        system = self._system()
+        victim = system.malloc(64)
+        holder = system.malloc(64)
+        system.bus.write_capability(holder.base, victim)
+        system.free(victim)
+        if self.rng.random() < 0.5:
+            system.allocator.revoke_now()
+
+        def workload() -> bool:
+            stale = system.load_filter.filter(
+                system.bus.read_capability(holder.base)
+            )
+            stale.check_access(stale.base, 8, (Permission.LD,))
+            return True
+
+        scenario, outcome, detail, wrong = self._classify(
+            system, "splice:revoked-replay", workload
+        )
+        if outcome is Outcome.MASKED:
+            return scenario, Outcome.ESCAPED, "revoked pointer dereferenced", wrong
+        return scenario, outcome, detail, wrong
+
+    def _splice_restart_recovery(self):
+        # A compartment faults, its error handler asks for a restart,
+        # and the caller's next call must land in a clean compartment.
+        system = System.build(
+            core=CoreKind.IBEX, mode=TemporalSafetyMode.HARDWARE, finalize=False
+        )
+        comp = system.loader.add_compartment("worker")
+        state = {"calls": 0}
+
+        def entry(ctx):
+            state["calls"] += 1
+            if state["calls"] == 1:
+                bad = Capability.null(0x1000)
+                bad.check_access(0x1000, 4, (Permission.LD,))
+            return state["calls"]
+
+        comp.export("entry", entry)
+        comp.set_error_handler(lambda info: RecoveryAction.RESTART)
+        system.loader.finalize()
+        token = self._mint_token(system, "worker", "entry")
+
+        def workload() -> bool:
+            try:
+                system.switcher.call(system.main_thread, token)
+            except CompartmentFault:
+                pass
+            else:
+                return False
+            if comp.restarts != 1:
+                return False
+            return system.switcher.call(system.main_thread, token) == 2
+
+        scenario, outcome, detail, wrong = self._classify(
+            system, "splice:restart-recovery", workload
+        )
+        if outcome is Outcome.MASKED:
+            outcome = Outcome.CONTAINED
+            detail = "recovery failed" if wrong else "restarted and recovered"
+        return scenario, outcome, detail, wrong

@@ -1,0 +1,75 @@
+"""Invariant monitor: the campaign's escape oracle.
+
+After every injection the engine asks the monitor whether the system
+still upholds the paper's claims.  The checks are *ground truth*, not
+architectural: they inspect simulator state directly (allocator
+metadata, the revocation bitmap, raw tag bits) the way a hardware
+testbench would probe internal signals, so an escape cannot hide behind
+the same machinery it broke.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.capability import Capability
+
+
+def authority_subset(cap: Capability, original: Capability) -> bool:
+    """True when ``cap`` conveys no authority beyond ``original``.
+
+    An untagged capability conveys no authority at all, so it is always
+    a subset.  Sealed capabilities convey only the right to be unsealed;
+    their bounds/permissions still must not exceed the original's.
+    """
+    if not cap.tag:
+        return True
+    if not original.tag:
+        return False
+    return (
+        cap.base >= original.base
+        and cap.top <= original.top
+        and cap.perms <= original.perms
+    )
+
+
+class InvariantMonitor:
+    """Probes one :class:`~repro.machine.System` for silent escapes."""
+
+    def __init__(self, system) -> None:
+        self.system = system
+
+    def check(self) -> List[str]:
+        """Run every system-level invariant; returns violations."""
+        problems = list(self.system.allocator.check_invariants())
+        problems.extend(self._check_revoked_unreachable())
+        return problems
+
+    def _check_revoked_unreachable(self) -> List[str]:
+        """No tagged in-memory capability may reach quarantined memory.
+
+        A stale pointer sitting in memory is expected — temporal safety
+        promises it *dies on load*.  The violation is a stale pointer
+        the load filter would pass: that is reachable revoked memory.
+        """
+        problems: List[str] = []
+        spans = [
+            (chunk.address, chunk.end)
+            for chunk in self.system.allocator.iter_quarantined()
+        ]
+        if not spans:
+            return problems
+        heap = self.system.memory_map.heap
+        load_filter = self.system.load_filter
+        for address in self.system.sram.tagged_granules(heap.base, heap.top):
+            cap = self.system.sram.read_capability(address)
+            if not cap.tag or cap.is_sealed:
+                continue
+            if not any(cap.base < end and base < cap.top for base, end in spans):
+                continue
+            if load_filter.filter(cap).tag:
+                problems.append(
+                    f"tagged capability at {address:#x} reaches quarantined "
+                    f"memory [{cap.base:#x}, {cap.top:#x}) past the load filter"
+                )
+        return problems

@@ -1,0 +1,130 @@
+"""The outcome taxonomy of a fault-injection campaign.
+
+Each injection lands in exactly one bucket:
+
+* **MASKED** — the fault changed state that was never (or no longer)
+  load-bearing; the workload completed and every probe came back clean.
+  A masked fault may still corrupt *data* (``wrong_result``): data
+  integrity is an ECC problem, not a CHERIoT claim.
+* **DETECTED** — an architectural check (tag, seal, permission, bounds,
+  monotonicity) or the allocator's own argument validation stopped the
+  faulty action with a deterministic error.
+* **CONTAINED** — the fault fired inside a cross-compartment call; the
+  switcher unwound the frame and surfaced a
+  :class:`~repro.rtos.switcher.CompartmentFault` to the caller.
+* **ESCAPED** — the fault produced authority or reachability the
+  original program never had: a forbidden access succeeded, a revoked
+  object stayed reachable, or a heap invariant silently broke.  The
+  campaign's acceptance criterion is **zero** of these.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+class FaultClass(enum.Enum):
+    """What kind of fault an injection models."""
+
+    TAG_FLIP = "tag_flip"
+    METADATA_CORRUPT = "metadata_corrupt"
+    MEM_BIT_FLIP = "mem_bit_flip"
+    REG_CORRUPT = "reg_corrupt"
+    SPLICE = "splice"
+
+
+class Outcome(enum.Enum):
+    MASKED = "masked"
+    DETECTED = "detected"
+    CONTAINED = "contained"
+    ESCAPED = "escaped"
+
+
+@dataclass(frozen=True)
+class InjectionRecord:
+    """One injection: what was done, and what the system did about it."""
+
+    index: int
+    fault_class: FaultClass
+    scenario: str
+    outcome: Outcome
+    detail: str = ""
+    #: The workload completed with corrupted data (possible only for
+    #: MASKED outcomes — detected/contained runs never produce results).
+    wrong_result: bool = False
+
+
+@dataclass
+class CampaignResult:
+    """Aggregated results of one seeded campaign."""
+
+    seed: int
+    records: List[InjectionRecord] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.records)
+
+    def tally(self) -> Dict[str, int]:
+        counts = {outcome.value: 0 for outcome in Outcome}
+        for record in self.records:
+            counts[record.outcome.value] += 1
+        return counts
+
+    def tally_by_class(self) -> Dict[str, Dict[str, int]]:
+        by_class: Dict[str, Dict[str, int]] = {}
+        for record in self.records:
+            bucket = by_class.setdefault(
+                record.fault_class.value,
+                {outcome.value: 0 for outcome in Outcome},
+            )
+            bucket[record.outcome.value] += 1
+        return by_class
+
+    @property
+    def escaped(self) -> List[InjectionRecord]:
+        return [r for r in self.records if r.outcome is Outcome.ESCAPED]
+
+    @property
+    def wrong_results(self) -> int:
+        return sum(1 for r in self.records if r.wrong_result)
+
+    @property
+    def detection_rate(self) -> float:
+        """Fraction of *activated* faults stopped by the architecture.
+
+        Masked faults never became visible, so they are excluded from
+        the denominator; with zero escapes this is exactly 1.0.
+        """
+        activated = [r for r in self.records if r.outcome is not Outcome.MASKED]
+        if not activated:
+            return 1.0
+        stopped = sum(
+            1
+            for r in activated
+            if r.outcome in (Outcome.DETECTED, Outcome.CONTAINED)
+        )
+        return stopped / len(activated)
+
+    def to_dict(self) -> dict:
+        """Deterministic summary for the committed benchmark JSON."""
+        escaped = [
+            {
+                "index": r.index,
+                "fault_class": r.fault_class.value,
+                "scenario": r.scenario,
+                "detail": r.detail,
+            }
+            for r in self.escaped
+        ]
+        return {
+            "seed": self.seed,
+            "total_injections": self.total,
+            "outcomes": self.tally(),
+            "by_class": self.tally_by_class(),
+            "wrong_results": self.wrong_results,
+            "detection_rate": round(self.detection_rate, 6),
+            "escaped_details": escaped,
+        }

@@ -155,6 +155,11 @@ class CPU:
         self.last_trap: Optional[Trap] = None
         #: Optional :class:`repro.isa.timer.ClintTimer` polled per step.
         self.timer = None
+        #: Optional hook called with the CPU before each instruction is
+        #: fetched (both execution modes).  Fault-injection campaigns use
+        #: it to mutate architectural state at a precise instruction
+        #: boundary; a ``None`` hook costs one comparison per step.
+        self.pre_step_hook: Optional[Callable[["CPU"], None]] = None
         self._halted = False
 
     # ------------------------------------------------------------------
@@ -268,6 +273,8 @@ class CPU:
         """Pre-decoded step: handler and operand metadata come from the
         table built at load time; the PCC check is two comparisons while
         the PC stays inside the cached executable window."""
+        if self.pre_step_hook is not None:
+            self.pre_step_hook(self)
         if (
             self.interrupt_pending is not None
             and self.csr.interrupts_enabled
@@ -323,6 +330,8 @@ class CPU:
         """The seed's interpretive step: string-keyed dispatch and a full
         PCC authorization per fetch.  Kept as the reference semantics for
         the differential golden-trace tests (``predecode=False``)."""
+        if self.pre_step_hook is not None:
+            self.pre_step_hook(self)
         if (
             self.interrupt_pending is not None
             and self.csr.interrupts_enabled

@@ -1,9 +1,16 @@
 """The co-designed RTOS: compartments, switcher, threads, scheduling."""
 
 from .audit import AuditReport, ExportRecord, audit_image
-from .compartment import Compartment, Export, ImportToken, InterruptPosture
+from .compartment import (
+    Compartment,
+    Export,
+    FaultInfo,
+    ImportToken,
+    InterruptPosture,
+    RecoveryAction,
+)
 from .message_queue import MessageQueue, QueueEmpty, QueueFull, QueueStats
-from .executive import Executive, ExecutiveStats
+from .executive import Executive, ExecutiveStats, Watchdog
 from .latency import DisabledWindow, InterruptLatencyMonitor
 from .loader import Loader, LoaderError
 from .scheduler import (
@@ -17,6 +24,8 @@ from .switcher import (
     CROSS_CALL_INSTRS,
     CompartmentFault,
     CROSS_RETURN_INSTRS,
+    FAULT_UNWIND_INSTRS,
+    MAX_FAULT_RETRIES,
     CallContext,
     CompartmentSwitcher,
     SwitcherStats,
@@ -40,7 +49,11 @@ __all__ = [
     "Compartment",
     "CompartmentSwitcher",
     "Export",
+    "FAULT_UNWIND_INSTRS",
+    "FaultInfo",
     "HWM_CSR_EXTRA_INSTRS",
+    "MAX_FAULT_RETRIES",
+    "RecoveryAction",
     "ImportToken",
     "InterruptLatencyMonitor",
     "DisabledWindow",
@@ -58,5 +71,6 @@ __all__ = [
     "Thread",
     "ThreadState",
     "WaitStats",
+    "Watchdog",
     "make_hardware_wait_policy",
 ]

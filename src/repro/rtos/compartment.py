@@ -12,10 +12,18 @@ At this model's level, an export's behaviour is a Python callable
 ``fn(ctx, *args)`` receiving a :class:`CallContext`; the trusted
 switcher (:mod:`repro.rtos.switcher`) is the only way to invoke one
 from outside the compartment.
+
+Compartments may also register an **error handler** (section 5.2): when
+an export faults, the switcher first unwinds the call — zeroing the
+callee-dirtied stack and restoring the trusted stack — and then gives
+the faulting compartment's handler a chance to decide how the fault
+surfaces: unwind to the caller, retry the entry point, or restart the
+compartment (its globals reset to the loaded image).
 """
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
@@ -46,6 +54,41 @@ class Export:
     posture: str = InterruptPosture.ENABLED
     #: Straight-line instructions the entry veneer executes (cost model).
     veneer_instructions: int = 6
+
+
+class RecoveryAction(enum.Enum):
+    """What a compartment error handler asks the switcher to do.
+
+    ``UNWIND`` surfaces the fault to the caller as a
+    :class:`~repro.rtos.switcher.CompartmentFault` (the default when no
+    handler is registered).  ``RETRY`` re-enters the faulted export with
+    the same arguments (bounded — repeated faults force an unwind).
+    ``RESTART`` resets the compartment's globals to their loaded image
+    before unwinding, so the *next* call enters a known-good state.
+    """
+
+    UNWIND = "unwind"
+    RETRY = "retry"
+    RESTART = "restart"
+
+
+@dataclass(frozen=True)
+class FaultInfo:
+    """What an error handler learns about the fault (and nothing more).
+
+    Mirrors the register-spill-free error context of the RTOS: the
+    handler sees which export faulted and the architectural cause, never
+    the unwound frame's contents (those were zeroed before it ran).
+    """
+
+    compartment: str
+    export: str
+    cause_type: str
+    cause: str
+    #: Trusted-stack depth at which the fault was contained.
+    depth: int
+    #: How many times this call has already been retried.
+    retries: int
 
 
 @dataclass(frozen=True)
@@ -92,6 +135,14 @@ class Compartment:
         self._global_caps: Dict[str, Capability] = {}
         #: Plain (non-capability) global state for compartment logic.
         self.state: Dict[str, object] = {}
+        #: Optional error handler ``fn(info: FaultInfo) -> RecoveryAction``
+        #: invoked by the switcher after a contained fault's unwind.
+        self._error_handler: Optional[Callable[[FaultInfo], RecoveryAction]] = None
+        #: Post-link image of the globals, captured by the loader at
+        #: finalize time; ``restart`` restores it.
+        self._snapshot: Optional[tuple] = None
+        #: Times this compartment was restarted after a fault.
+        self.restarts = 0
 
     # ------------------------------------------------------------------
     # Exports and imports
@@ -158,6 +209,50 @@ class Compartment:
             return self._global_caps[slot]
         except KeyError:
             raise KeyError(f"{self.name} has no global capability {slot!r}") from None
+
+    # ------------------------------------------------------------------
+    # Error handling and restart (section 5.2 recovery)
+    # ------------------------------------------------------------------
+
+    def set_error_handler(
+        self, handler: Optional[Callable[[FaultInfo], RecoveryAction]]
+    ) -> None:
+        """Register (or clear, with ``None``) the fault handler.
+
+        The handler runs *after* the switcher has unwound and zeroed the
+        faulted frame, so it can never observe the crashed call's stack;
+        it only decides how the fault surfaces.
+        """
+        self._error_handler = handler
+
+    @property
+    def error_handler(self) -> Optional[Callable[[FaultInfo], RecoveryAction]]:
+        return self._error_handler
+
+    def snapshot_globals(self) -> None:
+        """Capture the post-link globals image (done by the loader).
+
+        The snapshot is what ``RecoveryAction.RESTART`` restores: the
+        capability slots and plain state exactly as the loader left them.
+        """
+        self._snapshot = (dict(self._global_caps), dict(self.state))
+
+    def restart(self) -> None:
+        """Reset globals to the loaded image (the RESTART recovery path).
+
+        Capability slots and plain state revert to the loader's snapshot
+        (or empty, for compartments built without one); exports, imports
+        and the registered error handler survive — they are part of the
+        immutable image, not of mutable state.
+        """
+        if self._snapshot is not None:
+            caps, state = self._snapshot
+            self._global_caps = dict(caps)
+            self.state = dict(state)
+        else:
+            self._global_caps = {}
+            self.state = {}
+        self.restarts += 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Compartment {self.name} exports={sorted(self._exports)}>"

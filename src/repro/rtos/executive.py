@@ -15,12 +15,18 @@ Yield protocol — a thread body yields one of:
 * ``("block", predicate)`` — block until ``predicate()`` is true.
 
 Returning ends the thread.
+
+An optional :class:`Watchdog` adds the executive's recovery policy
+(section 5.2's availability story): threads that exceed a total cycle
+budget are killed or restarted, and a wait set that can provably never
+make progress (every live thread blocked on a predicate, no deadline
+pending) is broken instead of wedging the system.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Generator, Optional
+from typing import Callable, Dict, Generator, List, Optional
 
 from .scheduler import Scheduler
 from .thread import Thread, ThreadState
@@ -33,6 +39,48 @@ class _Task:
     wake_at: Optional[int] = None
     wake_when: Optional[Callable[[], bool]] = None
     slice_started_at: int = 0
+    #: Total simulated cycles this thread has consumed while running.
+    cpu_cycles: int = 0
+    #: Times the watchdog has restarted this thread.
+    restarts: int = 0
+
+    def wait_description(self) -> str:
+        """Human-readable account of why this task is not running."""
+        state = self.thread.state
+        if state is ThreadState.BLOCKED:
+            if self.wake_at is not None:
+                return f"sleeping until cycle {self.wake_at}"
+            if self.wake_when is not None:
+                return "blocked on predicate"
+            return "blocked"
+        return state.value
+
+
+@dataclass
+class Watchdog:
+    """The executive's recovery policy for stuck threads.
+
+    ``thread_cycle_budget`` bounds the *total* simulated cycles any one
+    thread may consume; a thread that exceeds it is expired.  With
+    ``break_deadlocks`` the executive also expires every thread in a
+    hopeless wait set (all live threads predicate-blocked, no sleep
+    deadline pending) instead of raising.  ``action`` selects what
+    expiry does: ``"kill"`` finishes the thread; ``"restart"`` gives it
+    a fresh body from ``restart_factory`` (at most ``max_restarts``
+    times, then it is killed — a crash-looping thread must converge).
+    """
+
+    thread_cycle_budget: Optional[int] = None
+    break_deadlocks: bool = False
+    action: str = "kill"
+    restart_factory: Optional[Callable[[Thread], Generator]] = None
+    max_restarts: int = 1
+
+    def __post_init__(self) -> None:
+        if self.action not in ("kill", "restart"):
+            raise ValueError(f"unknown watchdog action {self.action!r}")
+        if self.action == "restart" and self.restart_factory is None:
+            raise ValueError("watchdog action 'restart' needs restart_factory")
 
 
 @dataclass
@@ -41,14 +89,25 @@ class ExecutiveStats:
     preemptions: int = 0
     voluntary_yields: int = 0
     threads_finished: int = 0
+    watchdog_kills: int = 0
+    watchdog_restarts: int = 0
+    deadlocks_broken: int = 0
+    #: ``(thread_name, reason)`` for every watchdog intervention.
+    watchdog_events: List["tuple[str, str]"] = field(default_factory=list)
 
 
 class Executive:
     """Drives thread generators under the scheduler's policy."""
 
-    def __init__(self, scheduler: Scheduler, core_model) -> None:
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        core_model,
+        watchdog: Optional[Watchdog] = None,
+    ) -> None:
         self.scheduler = scheduler
         self.core_model = core_model
+        self.watchdog = watchdog
         self.stats = ExecutiveStats()
         self._tasks: Dict[int, _Task] = {}
 
@@ -60,6 +119,54 @@ class Executive:
             self.scheduler.add_thread(thread)
         thread.state = ThreadState.READY
         self._tasks[thread.tid] = _Task(thread, body)
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+
+    def _blocked_report(self, tasks) -> str:
+        """One clause per thread: name, tid, and what it waits on."""
+        return "; ".join(
+            f"{t.thread.name!r} (tid {t.thread.tid}) {t.wait_description()}"
+            for t in tasks
+        )
+
+    # ------------------------------------------------------------------
+    # Watchdog actions
+    # ------------------------------------------------------------------
+
+    def _expire(self, task: _Task, reason: str) -> None:
+        """Kill or restart a thread the watchdog has given up on."""
+        wd = self.watchdog
+        assert wd is not None
+        task.wake_at = None
+        task.wake_when = None
+        if (
+            wd.action == "restart"
+            and wd.restart_factory is not None
+            and task.restarts < wd.max_restarts
+        ):
+            task.body.close()
+            task.body = wd.restart_factory(task.thread)
+            task.cpu_cycles = 0
+            task.restarts += 1
+            task.thread.state = ThreadState.READY
+            self.stats.watchdog_restarts += 1
+            self.stats.watchdog_events.append((task.thread.name, f"restart: {reason}"))
+            return
+        task.body.close()
+        task.thread.state = ThreadState.FINISHED
+        self.stats.watchdog_kills += 1
+        self.stats.threads_finished += 1
+        self.stats.watchdog_events.append((task.thread.name, f"kill: {reason}"))
+
+    def _over_budget(self, task: _Task) -> bool:
+        wd = self.watchdog
+        return (
+            wd is not None
+            and wd.thread_cycle_budget is not None
+            and task.cpu_cycles > wd.thread_cycle_budget
+        )
 
     # ------------------------------------------------------------------
     # The run loop
@@ -94,12 +201,30 @@ class Executive:
                     t.wake_at for t in live if t.wake_at is not None
                 ]
                 if not deadlines:
-                    raise RuntimeError("deadlock: all threads blocked forever")
+                    if self.watchdog is not None and self.watchdog.break_deadlocks:
+                        # A predicate-wait set with no pending deadline
+                        # can never make progress on its own: break it.
+                        self.stats.deadlocks_broken += 1
+                        for task in live:
+                            self._expire(task, "deadlocked predicate wait")
+                        continue
+                    raise RuntimeError(
+                        "deadlock: all threads blocked forever at cycle "
+                        f"{self.core_model.cycles}: {self._blocked_report(live)}"
+                    )
                 earliest = min(deadlines)
                 self.core_model.charge(max(earliest - self.core_model.cycles, 1))
                 continue
             self._run_task(self._tasks[nxt.tid])
-        raise RuntimeError(f"executive exceeded {max_steps} steps")
+        live = [
+            t for t in self._tasks.values()
+            if t.thread.state is not ThreadState.FINISHED
+        ]
+        raise RuntimeError(
+            f"executive exceeded {max_steps} steps at cycle "
+            f"{self.core_model.cycles}; live threads: "
+            f"{self._blocked_report(live)}"
+        )
 
     def _run_task(self, task: _Task) -> None:
         self.scheduler.switch_to(task.thread)
@@ -107,11 +232,20 @@ class Executive:
         timeslice = self.scheduler.timeslice_cycles
         while True:
             self.stats.steps += 1
+            before = self.core_model.cycles
             try:
                 request = next(task.body)
             except StopIteration:
                 task.thread.state = ThreadState.FINISHED
                 self.stats.threads_finished += 1
+                return
+            task.cpu_cycles += self.core_model.cycles - before
+            if self._over_budget(task):
+                self._expire(
+                    task,
+                    f"exceeded cycle budget "
+                    f"({task.cpu_cycles} > {self.watchdog.thread_cycle_budget})",
+                )
                 return
             if request is None:
                 # Preemption point: keep running within the timeslice.

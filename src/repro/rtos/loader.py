@@ -93,7 +93,14 @@ class Loader:
         return self._roots
 
     def finalize(self) -> None:
-        """Erase the boot roots; no further authority can be minted."""
+        """Erase the boot roots; no further authority can be minted.
+
+        Also snapshots every compartment's globals: this is the image
+        the RESTART recovery path (section 5.2) restores, so a faulted
+        compartment can be reset to a known-good state.
+        """
+        for compartment in self._compartments.values():
+            compartment.snapshot_globals()
         self._roots = None
         self._finalized = True
 
@@ -176,7 +183,15 @@ class Loader:
     # ------------------------------------------------------------------
 
     def link(self, importer: str, exporter: str, export_name: str) -> ImportToken:
-        """Resolve one import: mint the sealed token and install it."""
+        """Resolve one import: mint the sealed token and install it.
+
+        The sealed capability's *address* names the export-table entry —
+        a unique slot the loader allocates per ``(compartment, export)``
+        pair and registers with the switcher.  A token whose names
+        disagree with the entry its sealed capability points at is a
+        forgery and faults at call time: the names in the token are a
+        convenience, the sealed address is the authority.
+        """
         roots = self._require_roots()
         source = self._compartments.get(importer)
         target = self._compartments.get(exporter)
@@ -186,7 +201,10 @@ class Loader:
         seal_authority = roots.sealing.set_address(
             RTOS_DATA_OTYPES["compartment-export"]
         )
-        entry_cap = target.globals_cap.set_address(target.globals_cap.base)
+        entry_address = self.switcher.register_export_entry(
+            exporter, export_name, target.globals_cap
+        )
+        entry_cap = target.globals_cap.set_address(entry_address)
         token = ImportToken(exporter, export_name, entry_cap.seal(seal_authority))
         source.add_import(token)
         return token

@@ -34,7 +34,14 @@ from repro.isa.csr import CSRFile
 from repro.isa.exceptions import Trap
 from repro.memory.bus import SystemBus
 from repro.pipeline.model import CoreModel
-from .compartment import Compartment, Export, ImportToken, InterruptPosture
+from .compartment import (
+    Compartment,
+    Export,
+    FaultInfo,
+    ImportToken,
+    InterruptPosture,
+    RecoveryAction,
+)
 from .thread import Thread
 
 #: Hand-written instruction counts for the switcher paths.  The paper
@@ -42,6 +49,18 @@ from .thread import Thread
 #: primitives; the call/return pair accounts for the bulk of them.
 CROSS_CALL_INSTRS = 95
 CROSS_RETURN_INSTRS = 85
+#: The fault-unwind path on top of the normal return path: trap entry,
+#: cause triage, trusted-stack walk and non-argument register clearing
+#: (the error path of the hand-written switcher, section 5.2).  Charged
+#: *in addition* to the return-path instructions and the callee-dirtied
+#: stack zeroing, which the unwind performs like any return.
+FAULT_UNWIND_INSTRS = 55
+#: Dispatching into a registered compartment error handler: building
+#: the spill-free error context and the sealed re-entry.
+ERROR_HANDLER_INSTRS = 24
+#: Retries a handler may request before the switcher forces an unwind —
+#: a faulting retry loop must not wedge the caller.
+MAX_FAULT_RETRIES = 3
 
 #: Fraction of switcher instructions that are memory operations
 #: (register spills, trusted-stack maintenance).
@@ -74,6 +93,11 @@ class SwitcherStats:
     returns: int = 0
     faults_contained: int = 0
     bytes_zeroed: int = 0
+    forged_tokens_rejected: int = 0
+    error_handlers_invoked: int = 0
+    error_handler_faults: int = 0
+    faults_retried: int = 0
+    compartments_restarted: int = 0
 
 
 @dataclass
@@ -187,6 +211,14 @@ class CompartmentSwitcher:
         self.stats = SwitcherStats()
         self._compartments: Dict[str, Compartment] = {}
         self._trusted_stack: List[_Frame] = []
+        #: Export table: entry address -> (compartment, export).  The
+        #: loader allocates one slot per linked export; a token's sealed
+        #: capability must point at the slot matching its names, so a
+        #: replayed sealed capability cannot be relabelled to call a
+        #: different entry point (section 2.6 — the sealed reference IS
+        #: the authority; the names are only a convenience).
+        self._export_table: Dict[int, "tuple[str, str]"] = {}
+        self._export_slots: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Registry (populated by the loader)
@@ -199,6 +231,24 @@ class CompartmentSwitcher:
 
     def compartment(self, name: str) -> Compartment:
         return self._compartments[name]
+
+    def register_export_entry(
+        self, compartment: str, export: str, globals_cap: Capability
+    ) -> int:
+        """Allocate (or return) the export-table slot for one entry.
+
+        Slots are 8-byte-spaced addresses inside the exporting
+        compartment's globals, so each linked export has a globally
+        unique entry address that its sealed import tokens carry.
+        """
+        for address, names in self._export_table.items():
+            if names == (compartment, export):
+                return address
+        slot = self._export_slots.get(compartment, 0)
+        address = globals_cap.base + 8 * slot
+        self._export_slots[compartment] = slot + 1
+        self._export_table[address] = (compartment, export)
+        return address
 
     # ------------------------------------------------------------------
     # Cost model
@@ -250,15 +300,59 @@ class CompartmentSwitcher:
         # Architectural unseal: faults if the authority does not cover
         # the export otype.
         sealed.unseal(self.unseal_authority.set_address(sealed.otype))
+        # The sealed capability's address names the export-table entry;
+        # the token's free-text names must agree with it.  A valid sealed
+        # capability replayed under different names is a forgery.
+        entry = self._export_table.get(sealed.address)
+        if entry != (token.compartment_name, token.export_name):
+            self.stats.forged_tokens_rejected += 1
+            raise SealedFault(
+                f"import token names {token.compartment_name}."
+                f"{token.export_name} but its sealed capability points at "
+                f"{'.'.join(entry) if entry else 'no export-table entry'}"
+            )
         target = self._compartments.get(token.compartment_name)
         if target is None:
             raise KeyError(f"unknown compartment {token.compartment_name!r}")
         return target.get_export(token.export_name)
 
     def call(self, thread: Thread, token: ImportToken, *args):
-        """Cross-compartment call: the full trusted sequence."""
+        """Cross-compartment call: the full trusted sequence.
+
+        Architectural faults inside the callee are contained: the frame
+        is unwound (stack zeroed, posture and trusted stack restored, the
+        unwind's mechanistic cycle cost charged) and the faulting
+        compartment's error handler — if registered — chooses how the
+        fault surfaces: unwind to the caller, retry the entry, or
+        restart the compartment first (section 5.2).
+        """
         export = self._resolve_token(token)
         target = self._compartments[token.compartment_name]
+        retries = 0
+        while True:
+            try:
+                return self._invoke(thread, target, export, args)
+            except (CapabilityError, Trap) as fault:
+                # The callee violated the architecture: contain it.  The
+                # frame was already unwound (stack zeroed, posture
+                # restored) by _invoke's finally block; charge the error
+                # path's extra instructions on top.
+                self.stats.faults_contained += 1
+                self._charge_instrs(FAULT_UNWIND_INSTRS)
+                action = self._consult_error_handler(target, token, fault, retries)
+                if action is RecoveryAction.RETRY and retries < MAX_FAULT_RETRIES:
+                    retries += 1
+                    self.stats.faults_retried += 1
+                    continue
+                if action is RecoveryAction.RESTART:
+                    target.restart()
+                    self.stats.compartments_restarted += 1
+                raise CompartmentFault(
+                    token.compartment_name, token.export_name, fault
+                ) from fault
+
+    def _invoke(self, thread: Thread, target: Compartment, export: Export, args):
+        """One entry through the call/return path (no fault policy)."""
         self.stats.calls += 1
         self._charge_instrs(CROSS_CALL_INSTRS + export.veneer_instructions)
 
@@ -279,15 +373,7 @@ class CompartmentSwitcher:
 
         context = CallContext(self, target, thread, callee_stack, args)
         try:
-            result = export.handler(context, *args)
-        except (CapabilityError, Trap) as fault:
-            # The callee violated the architecture: contain it.  The
-            # finally-block unwind below still runs (stack zeroed,
-            # posture restored); the caller sees a controlled error.
-            self.stats.faults_contained += 1
-            raise CompartmentFault(
-                token.compartment_name, token.export_name, fault
-            ) from fault
+            return export.handler(context, *args)
         finally:
             self._trusted_stack.pop()
             # Return path: zero exactly what the callee dirtied (HWM) or
@@ -297,7 +383,42 @@ class CompartmentSwitcher:
             self.csr.interrupts_enabled = frame.interrupts_enabled
             self.stats.returns += 1
             self._charge_instrs(CROSS_RETURN_INSTRS)
-        return result
+
+    def _consult_error_handler(
+        self,
+        target: Compartment,
+        token: ImportToken,
+        fault: Exception,
+        retries: int,
+    ) -> RecoveryAction:
+        """Ask the faulting compartment how its fault should surface.
+
+        Runs after the unwind, so the handler can never observe the
+        crashed frame.  A handler that itself faults — or returns
+        anything but a :class:`RecoveryAction` — forces an unwind: the
+        error path must terminate.
+        """
+        handler = target.error_handler
+        if handler is None:
+            return RecoveryAction.UNWIND
+        self.stats.error_handlers_invoked += 1
+        self._charge_instrs(ERROR_HANDLER_INSTRS)
+        info = FaultInfo(
+            compartment=token.compartment_name,
+            export=token.export_name,
+            cause_type=type(fault).__name__,
+            cause=str(fault),
+            depth=len(self._trusted_stack) + 1,
+            retries=retries,
+        )
+        try:
+            action = handler(info)
+        except (CapabilityError, Trap):
+            self.stats.error_handler_faults += 1
+            return RecoveryAction.UNWIND
+        if not isinstance(action, RecoveryAction):
+            return RecoveryAction.UNWIND
+        return action
 
     @property
     def call_depth(self) -> int:

@@ -1,0 +1,99 @@
+"""Property tests for single-bit upsets in the stored capability format.
+
+The claim under test (paper section 3.2, and the fault-injection
+campaign's architectural footing): a single bit flip in a capability's
+64-bit stored encoding can never *silently* widen authority.  Flips
+that travel through the architectural store path kill the granule's tag
+outright; guarded manipulation of a live capability either preserves
+its bounds and permissions exactly or leaves the result untagged.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+import pytest
+
+from repro.capability import Capability, Permission as P
+from repro.capability.errors import MonotonicityFault, TagFault
+from repro.memory import TaggedMemory
+
+RW = {P.GL, P.LD, P.SD, P.MC, P.SL, P.LM, P.LG}
+
+MEM_BASE = 0x2000_0000
+MEM_SIZE = 0x1_0000
+
+
+@st.composite
+def capabilities(draw):
+    """Tagged RW capabilities with exactly representable bounds."""
+    length = draw(st.integers(min_value=8, max_value=MEM_SIZE // 2))
+    base = draw(st.integers(min_value=0, max_value=MEM_SIZE - length))
+    perms = draw(
+        st.sets(
+            st.sampled_from(sorted(RW, key=lambda p: p.name)), min_size=1
+        ).map(frozenset)
+    )
+    cap = Capability.from_bounds(MEM_BASE + (base & ~7), length, perms | {P.LD})
+    return cap
+
+
+class TestStorePathFlips:
+    @given(
+        cap=capabilities(),
+        slot=st.integers(min_value=0, max_value=7),
+        bit_offset=st.integers(min_value=0, max_value=63),
+    )
+    def test_any_single_bit_flip_in_memory_untags(self, cap, slot, bit_offset):
+        """Flipping ANY bit of a stored capability through the store
+
+        path leaves an untagged granule: the damaged bits can never be
+        dereferenced, whatever they now decode to."""
+        mem = TaggedMemory(MEM_BASE, MEM_SIZE)
+        address = MEM_BASE + 8 * slot
+        mem.write_capability(address, cap)
+        assert mem.tag_at(address)
+
+        byte_addr = address + bit_offset // 8
+        byte = mem.read_bytes(byte_addr, 1)[0]
+        mem.write_bytes(byte_addr, bytes([byte ^ (1 << (bit_offset % 8))]))
+
+        assert not mem.tag_at(address)
+        damaged = mem.read_capability(address)
+        assert not damaged.tag
+        with pytest.raises(TagFault):
+            damaged.check_access(damaged.address, 1, (P.LD,))
+
+
+class TestGuardedManipulation:
+    @given(cap=capabilities(), bit=st.integers(min_value=0, max_value=31))
+    def test_address_warp_never_widens(self, cap, bit):
+        """``set_address`` with an arbitrarily corrupted address either
+
+        clears the tag (unrepresentable) or leaves authority intact —
+        never a tagged capability with moved bounds."""
+        warped = cap.set_address(cap.address ^ (1 << bit))
+        if warped.tag:
+            assert warped.base == cap.base
+            assert warped.top == cap.top
+            assert warped.perms == cap.perms
+        else:
+            with pytest.raises(TagFault):
+                warped.check_access(warped.address, 1, (P.LD,))
+
+    @given(
+        cap=capabilities(),
+        extra=st.integers(min_value=1, max_value=1 << 30),
+    )
+    def test_bounds_can_never_grow(self, cap, extra):
+        """``set_bounds`` is monotonic: any request reaching past the
+
+        current top faults instead of widening."""
+        want = (cap.top - cap.address) + extra
+        with pytest.raises(MonotonicityFault):
+            cap.set_bounds(want)
+
+    @given(cap=capabilities(), shrink=st.integers(min_value=8, max_value=64))
+    def test_shrinking_stays_inside(self, cap, shrink):
+        narrowed = cap.set_bounds(min(shrink, cap.top - cap.address))
+        if narrowed.tag:
+            assert narrowed.base >= cap.base
+            assert narrowed.top <= cap.top

@@ -1,0 +1,163 @@
+"""Tests for the fault-injection engine, monitor and campaign runner."""
+
+import json
+import os
+
+import pytest
+
+from repro.allocator import TemporalSafetyMode
+from repro.faultinject import (
+    FaultClass,
+    FaultInjector,
+    InvariantMonitor,
+    Outcome,
+    authority_subset,
+    run_campaign,
+)
+from repro.machine import System
+from repro.pipeline import CoreKind
+
+SEED = 1234
+SAMPLE = 150  # 30 per class — enough to hit every scenario variant
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return run_campaign(total=SAMPLE, seed=SEED)
+
+
+class TestDeterminism:
+    def test_same_seed_reproduces_bit_identical_results(self, campaign):
+        again = run_campaign(total=SAMPLE, seed=SEED)
+        assert json.dumps(campaign.to_dict(), sort_keys=True) == json.dumps(
+            again.to_dict(), sort_keys=True
+        )
+        assert [r.scenario for r in campaign.records] == [
+            r.scenario for r in again.records
+        ]
+
+    def test_different_seed_differs(self, campaign):
+        other = run_campaign(total=SAMPLE, seed=SEED + 1)
+        assert [r.scenario for r in campaign.records] != [
+            r.scenario for r in other.records
+        ]
+
+    def test_no_timestamps_or_environment_in_output(self, campaign):
+        payload = json.dumps(campaign.to_dict())
+        assert "time" not in payload
+        assert "host" not in payload
+
+
+class TestClaims:
+    def test_zero_escapes(self, campaign):
+        assert campaign.escaped == []
+        assert campaign.detection_rate == 1.0
+
+    def test_every_fault_class_injected(self, campaign):
+        assert set(campaign.tally_by_class()) == {c.value for c in FaultClass}
+
+    def test_outcome_mix_is_nontrivial(self, campaign):
+        """A campaign where nothing masks (or nothing detects) is not
+
+        exercising the system — it is exercising the harness."""
+        tally = campaign.tally()
+        assert tally["detected"] > 0
+        assert tally["contained"] > 0
+        assert tally["masked"] > 0
+
+    def test_wrong_results_only_from_non_detected_runs(self, campaign):
+        """Detected/escaped runs never complete, so they can never
+
+        report a wrong result; data corruption is a masked phenomenon."""
+        for record in campaign.records:
+            if record.wrong_result:
+                assert record.outcome in (Outcome.MASKED, Outcome.CONTAINED)
+
+    def test_forged_tokens_always_stopped(self, campaign):
+        forged = [
+            r for r in campaign.records if r.scenario.startswith("splice:token")
+        ]
+        assert forged, "sample too small to cover token forgery"
+        assert all(r.outcome is Outcome.DETECTED for r in forged)
+
+    def test_revoked_replay_always_stopped(self, campaign):
+        replays = [
+            r for r in campaign.records if r.scenario == "splice:revoked-replay"
+        ]
+        assert replays, "sample too small to cover revoked replay"
+        assert all(r.outcome is Outcome.DETECTED for r in replays)
+
+
+class TestCommittedBaseline:
+    BASELINE = os.path.join(os.path.dirname(__file__), "..", "..", "BENCH_faults.json")
+
+    def test_baseline_records_zero_escapes(self):
+        with open(self.BASELINE) as fh:
+            baseline = json.load(fh)
+        assert baseline["outcomes"]["escaped"] == 0
+        assert baseline["escaped_details"] == []
+        assert baseline["total_injections"] >= 10_000
+        assert sum(baseline["outcomes"].values()) == baseline["total_injections"]
+        assert set(baseline["by_class"]) == {c.value for c in FaultClass}
+
+
+class TestMonitorOracle:
+    """The escape oracle must be falsifiable: seeded violations that
+
+    bypass the architecture (as a hardware bug would) must be caught."""
+
+    @pytest.fixture
+    def system(self):
+        return System.build(core=CoreKind.IBEX, mode=TemporalSafetyMode.HARDWARE)
+
+    def test_clean_system_passes(self, system):
+        system.malloc(64)
+        assert InvariantMonitor(system).check() == []
+
+    def test_unpainted_quarantine_is_reported(self, system):
+        """A broken free() that quarantines without painting leaves the
+
+        chunk reachable — the heap invariant check must see it."""
+        victim = system.malloc(64)
+        system.free(victim)
+        chunk = next(system.allocator.iter_quarantined())
+        system.revocation_map.clear(chunk.address, chunk.size)  # simulate the bug
+        problems = InvariantMonitor(system).check()
+        assert any("unpainted" in p for p in problems)
+
+    def test_reachable_revoked_pointer_is_reported(self, system):
+        victim = system.malloc(64)
+        holder = system.malloc(64)
+        system.bus.write_capability(holder.base, victim)
+        system.free(victim)
+        chunk = next(system.allocator.iter_quarantined())
+        system.revocation_map.clear(chunk.address, chunk.size)
+        problems = InvariantMonitor(system).check()
+        assert any("load filter" in p for p in problems)
+
+    def test_painted_live_allocation_is_reported(self, system):
+        live = system.malloc(64)
+        system.revocation_map.paint(live.base, 8)
+        problems = InvariantMonitor(system).check()
+        assert any("revoked granule" in p for p in problems)
+
+    def test_authority_subset(self, system):
+        cap = system.malloc(64)
+        assert authority_subset(cap.set_bounds(8), cap)
+        assert authority_subset(cap.untagged(), cap)
+        assert not authority_subset(system.allocator.memory_root, cap)
+
+
+class TestInjectorUnits:
+    def test_single_injection_record_shape(self):
+        record = FaultInjector(seed=3).inject(0, FaultClass.TAG_FLIP)
+        assert record.index == 0
+        assert record.fault_class is FaultClass.TAG_FLIP
+        assert record.scenario.startswith("tag-flip:")
+        assert isinstance(record.outcome, Outcome)
+
+    def test_invalid_campaign_args_rejected(self):
+        with pytest.raises(ValueError):
+            run_campaign(total=0)
+        with pytest.raises(ValueError):
+            run_campaign(total=5, classes=())

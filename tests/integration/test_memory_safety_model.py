@@ -122,7 +122,8 @@ class TestPoint4_NoStackPointerEscape:
 
         # Build the token the loader would have minted (the loader is
         # finalized, so mint via the still-held switcher authority).
-        sealed = comp.globals_cap.set_address(comp.globals_cap.base).seal(
+        entry = switcher.register_export_entry("app", "callee", comp.globals_cap)
+        sealed = comp.globals_cap.set_address(entry).seal(
             switcher.unseal_authority.set_address(
                 RTOS_DATA_OTYPES["compartment-export"]
             )

@@ -1,0 +1,257 @@
+"""Tests for compartment error handlers and recovery (section 5.2).
+
+A contained fault unwinds the crashed frame first; only then does the
+faulting compartment's error handler get to choose how the fault
+surfaces: unwind to the caller, retry the entry, or restart the
+compartment with its globals reset to the loaded image.
+"""
+
+import pytest
+
+from repro.capability import Permission
+from repro.capability.errors import SealedFault, TagFault
+from repro.rtos import (
+    CompartmentFault,
+    FaultInfo,
+    RecoveryAction,
+)
+from repro.rtos.compartment import ImportToken
+from repro.rtos.switcher import FAULT_UNWIND_INSTRS, MAX_FAULT_RETRIES
+
+
+@pytest.fixture
+def recoverable(loader, roots):
+    """"client" calling "flaky", whose export faults on demand.
+
+    ``flaky.state`` controls the behaviour: ``fail_times`` is how many
+    calls should fault before succeeding; ``calls`` counts attempts.
+    """
+    client = loader.add_compartment("client")
+    flaky = loader.add_compartment("flaky")
+    flaky.state["fail_times"] = 0
+    flaky.state["calls"] = 0
+
+    def entry(ctx, value):
+        ctx.use_stack(64)
+        flaky.state["calls"] += 1
+        if flaky.state["calls"] <= flaky.state["fail_times"]:
+            bad = roots.memory.set_address(0x2004_8000).set_bounds(8)
+            bad.check_access(bad.top + 8, 4, (Permission.LD,))
+        return value * 2
+
+    flaky.export("entry", entry)
+    loader.link("client", "flaky", "entry")
+    return client, flaky
+
+
+class TestDefaultUnwind:
+    def test_no_handler_means_unwind(self, recoverable, switcher, thread):
+        client, flaky = recoverable
+        flaky.state["fail_times"] = 1
+        with pytest.raises(CompartmentFault):
+            switcher.call(thread, client.get_import("flaky", "entry"), 3)
+        assert switcher.stats.error_handlers_invoked == 0
+        assert switcher.call_depth == 0
+
+    def test_handler_sees_fault_info_not_the_frame(
+        self, recoverable, switcher, thread
+    ):
+        client, flaky = recoverable
+        flaky.state["fail_times"] = 1
+        seen = []
+
+        def handler(info):
+            seen.append(info)
+            return RecoveryAction.UNWIND
+
+        flaky.set_error_handler(handler)
+        with pytest.raises(CompartmentFault):
+            switcher.call(thread, client.get_import("flaky", "entry"), 3)
+        (info,) = seen
+        assert isinstance(info, FaultInfo)
+        assert info.compartment == "flaky"
+        assert info.export == "entry"
+        assert info.cause_type == "BoundsFault"
+        assert info.depth == 1  # contained at the first trusted-stack frame
+        assert info.retries == 0
+        assert switcher.stats.error_handlers_invoked == 1
+
+
+class TestRetry:
+    def test_retry_reenters_and_succeeds(self, recoverable, switcher, thread):
+        client, flaky = recoverable
+        flaky.state["fail_times"] = 1
+        flaky.set_error_handler(lambda info: RecoveryAction.RETRY)
+        result = switcher.call(thread, client.get_import("flaky", "entry"), 21)
+        assert result == 42
+        assert flaky.state["calls"] == 2
+        assert switcher.stats.faults_retried == 1
+        assert switcher.call_depth == 0
+
+    def test_retry_is_bounded(self, recoverable, switcher, thread):
+        """A handler stuck on RETRY must not wedge the caller forever."""
+        client, flaky = recoverable
+        flaky.state["fail_times"] = 10_000
+        retries_seen = []
+
+        def handler(info):
+            retries_seen.append(info.retries)
+            return RecoveryAction.RETRY
+
+        flaky.set_error_handler(handler)
+        with pytest.raises(CompartmentFault):
+            switcher.call(thread, client.get_import("flaky", "entry"), 1)
+        assert switcher.stats.faults_retried == MAX_FAULT_RETRIES
+        assert flaky.state["calls"] == 1 + MAX_FAULT_RETRIES
+        assert retries_seen == list(range(MAX_FAULT_RETRIES + 1))
+
+
+class TestRestart:
+    def test_restart_resets_globals_to_loaded_image(
+        self, recoverable, switcher, thread, loader
+    ):
+        client, flaky = recoverable
+        loader.finalize()  # snapshots the globals the RESTART path restores
+        flaky.state["fail_times"] = 1
+        flaky.set_error_handler(lambda info: RecoveryAction.RESTART)
+        with pytest.raises(CompartmentFault):
+            switcher.call(thread, client.get_import("flaky", "entry"), 3)
+        assert flaky.restarts == 1
+        assert switcher.stats.compartments_restarted == 1
+        # The mutated counters reverted to their finalize-time values.
+        assert flaky.state["calls"] == 0
+        assert flaky.state["fail_times"] == 0
+
+    def test_end_to_end_fault_restart_then_clean_call(
+        self, recoverable, switcher, thread, loader
+    ):
+        """The ISSUE's acceptance scenario: an injected fault triggers
+
+        the registered handler, the compartment restarts, and the very
+        next cross-compartment call succeeds against clean state."""
+        client, flaky = recoverable
+        loader.finalize()  # the clean image: fail_times=0
+        # Post-boot corruption: the compartment's state now makes every
+        # call fault, until a restart reloads the clean image.
+        flaky.state["fail_times"] = 10_000
+        flaky.set_error_handler(lambda info: RecoveryAction.RESTART)
+        with pytest.raises(CompartmentFault):
+            switcher.call(thread, client.get_import("flaky", "entry"), 3)
+        assert flaky.restarts == 1
+        assert switcher.call(thread, client.get_import("flaky", "entry"), 21) == 42
+        assert switcher.call_depth == 0
+
+
+class TestHandlerMisbehaviour:
+    def test_faulting_handler_forces_unwind(
+        self, recoverable, switcher, thread, roots
+    ):
+        client, flaky = recoverable
+        flaky.state["fail_times"] = 1
+
+        def bad_handler(info):
+            raise TagFault("handler dereferenced a dead pointer")
+
+        flaky.set_error_handler(bad_handler)
+        with pytest.raises(CompartmentFault):
+            switcher.call(thread, client.get_import("flaky", "entry"), 3)
+        assert switcher.stats.error_handler_faults == 1
+        assert switcher.stats.faults_retried == 0
+        assert switcher.call_depth == 0
+
+    def test_non_action_return_forces_unwind(self, recoverable, switcher, thread):
+        client, flaky = recoverable
+        flaky.state["fail_times"] = 1
+        flaky.set_error_handler(lambda info: "retry")  # not a RecoveryAction
+        with pytest.raises(CompartmentFault):
+            switcher.call(thread, client.get_import("flaky", "entry"), 3)
+        assert switcher.stats.faults_retried == 0
+
+
+class TestUnwindCost:
+    def test_fault_unwind_charges_the_error_path(
+        self, recoverable, switcher, thread, core
+    ):
+        """A contained fault costs the return path *plus* the hand-written
+
+        error path (trap triage, trusted-stack walk, register clearing)."""
+        client, flaky = recoverable
+        token = client.get_import("flaky", "entry")
+        before = core.cycles
+        switcher.call(thread, token, 1)
+        ok_cost = core.cycles - before
+
+        flaky.state["fail_times"] = 10_000  # every call faults now
+        before = core.cycles
+        with pytest.raises(CompartmentFault):
+            switcher.call(thread, token, 1)
+        fault_cost = core.cycles - before
+        assert fault_cost >= ok_cost + FAULT_UNWIND_INSTRS
+
+
+class TestTokenRelabelling:
+    def test_valid_sealed_cap_under_wrong_names_is_rejected(
+        self, recoverable, switcher, thread, loader, roots
+    ):
+        """A replayed sealed capability cannot be relabelled: the sealed
+
+        address names the export-table entry, and the token's names must
+        agree with it (section 2.6)."""
+        client, flaky = recoverable
+        other = loader.add_compartment("other")
+        other.export("secret", lambda ctx: "the goods")
+        loader.link("client", "other", "secret")
+        genuine = client.get_import("flaky", "entry")
+        forged = ImportToken("other", "secret", genuine.sealed_cap)
+        with pytest.raises(SealedFault):
+            switcher.call(thread, forged)
+        assert switcher.stats.forged_tokens_rejected == 1
+        assert switcher.stats.calls == 0
+
+
+class TestNestedFaults:
+    def test_three_deep_fault_unwinds_only_the_faulting_frame(
+        self, loader, switcher, thread, roots
+    ):
+        """A -> B -> C where C faults: C's frame unwinds, B catches the
+
+        CompartmentFault at its own depth and finishes normally, A never
+        sees the fault (satellite: nested cross-compartment faults)."""
+        a = loader.add_compartment("a")
+        b = loader.add_compartment("b")
+        c = loader.add_compartment("c")
+        depths = {}
+
+        def entry_a(ctx):
+            ctx.use_stack(32)
+            depths["a"] = switcher.call_depth
+            return "A saw " + ctx.call("b", "middle")
+
+        def middle(ctx):
+            ctx.use_stack(32)
+            depths["b_before"] = switcher.call_depth
+            try:
+                ctx.call("c", "crash")
+            except CompartmentFault as fault:
+                depths["b_after"] = switcher.call_depth
+                return f"B caught {fault.cause_type} from {fault.compartment}"
+            return "C did not fault?"
+
+        def crash(ctx):
+            ctx.use_stack(32)
+            depths["c"] = switcher.call_depth
+            bad = roots.memory.set_address(0x2004_9000).set_bounds(8)
+            bad.check_access(bad.top + 4, 4, (Permission.LD,))
+
+        a.export("entry", entry_a)
+        b.export("middle", middle)
+        c.export("crash", crash)
+        loader.link("a", "a", "entry")
+        loader.link("a", "b", "middle")
+        loader.link("b", "c", "crash")
+
+        result = switcher.call(thread, a.get_import("a", "entry"))
+        assert result == "A saw B caught BoundsFault from c"
+        assert depths == {"a": 1, "b_before": 2, "c": 3, "b_after": 2}
+        assert switcher.call_depth == 0
+        assert switcher.stats.faults_contained == 1

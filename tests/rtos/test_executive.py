@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.rtos.executive import Executive
+from repro.rtos.executive import Executive, Watchdog
 from repro.rtos.thread import ThreadState
 
 
@@ -134,3 +134,151 @@ class TestBlocking:
         executive.spawn(thread, iter(()))
         with pytest.raises(ValueError):
             executive.spawn(thread, iter(()))
+
+
+class TestDiagnostics:
+    def test_deadlock_message_names_every_stuck_thread(
+        self, executive, loader, scheduler, core
+    ):
+        def stuck():
+            yield ("block", lambda: False)
+
+        alpha = make_thread(loader, scheduler, "alpha")
+        beta = make_thread(loader, scheduler, "beta")
+        executive.spawn(alpha, stuck())
+        executive.spawn(beta, stuck())
+        with pytest.raises(RuntimeError) as excinfo:
+            executive.run()
+        message = str(excinfo.value)
+        assert "deadlock" in message
+        assert f"'alpha' (tid {alpha.tid}) blocked on predicate" in message
+        assert f"'beta' (tid {beta.tid}) blocked on predicate" in message
+        assert f"cycle {core.cycles}" in message
+
+    def test_step_budget_message_reports_wait_kinds(
+        self, executive, loader, scheduler, core
+    ):
+        def spin():
+            while True:
+                core.charge(scheduler.timeslice_cycles + 1)
+                yield
+
+        def long_sleep():
+            yield ("sleep", 10**9)
+
+        spinner = make_thread(loader, scheduler, "spinner")
+        sleeper = make_thread(loader, scheduler, "sleeper")
+        executive.spawn(spinner, spin())
+        executive.spawn(sleeper, long_sleep())
+        with pytest.raises(RuntimeError) as excinfo:
+            executive.run(max_steps=10)
+        message = str(excinfo.value)
+        assert "exceeded 10 steps" in message
+        assert "'spinner'" in message
+        assert "'sleeper'" in message
+        assert "sleeping until cycle" in message
+
+
+class TestWatchdog:
+    def test_config_validated(self):
+        with pytest.raises(ValueError):
+            Watchdog(action="reboot")
+        with pytest.raises(ValueError):
+            Watchdog(action="restart")  # needs restart_factory
+
+    def test_cycle_budget_kills_runaway_thread(self, loader, scheduler, core):
+        executive = Executive(
+            scheduler, core, watchdog=Watchdog(thread_cycle_budget=100)
+        )
+        done = []
+
+        def hog():
+            while True:
+                core.charge(60)
+                yield
+
+        def polite():
+            core.charge(10)
+            yield
+            done.append("polite")
+
+        runaway = make_thread(loader, scheduler, "hog", priority=5)
+        good = make_thread(loader, scheduler, "good", priority=1)
+        executive.spawn(runaway, hog())
+        executive.spawn(good, polite())
+        stats = executive.run()
+        assert runaway.state is ThreadState.FINISHED
+        assert done == ["polite"]  # the rest of the system kept running
+        assert stats.watchdog_kills == 1
+        (event,) = [e for e in stats.watchdog_events if e[0] == "hog"]
+        assert event[1].startswith("kill: exceeded cycle budget")
+
+    def test_restart_gives_the_thread_a_fresh_body(self, loader, scheduler, core):
+        def hog():
+            while True:
+                core.charge(60)
+                yield
+
+        def reformed(thread):
+            core.charge(10)
+            yield
+
+        executive = Executive(
+            scheduler,
+            core,
+            watchdog=Watchdog(
+                thread_cycle_budget=100,
+                action="restart",
+                restart_factory=lambda thread: reformed(thread),
+            ),
+        )
+        thread = make_thread(loader, scheduler, "flaky")
+        executive.spawn(thread, hog())
+        stats = executive.run()
+        assert stats.watchdog_restarts == 1
+        assert stats.watchdog_kills == 0
+        assert thread.state is ThreadState.FINISHED  # ran to completion
+
+    def test_crash_looping_restart_is_killed_after_max_restarts(
+        self, loader, scheduler, core
+    ):
+        def hog(thread=None):
+            while True:
+                core.charge(60)
+                yield
+
+        executive = Executive(
+            scheduler,
+            core,
+            watchdog=Watchdog(
+                thread_cycle_budget=100,
+                action="restart",
+                restart_factory=hog,
+                max_restarts=2,
+            ),
+        )
+        thread = make_thread(loader, scheduler, "crashloop")
+        executive.spawn(thread, hog())
+        stats = executive.run()
+        assert stats.watchdog_restarts == 2
+        assert stats.watchdog_kills == 1
+        assert thread.state is ThreadState.FINISHED
+
+    def test_break_deadlocks_expires_the_wait_set(self, loader, scheduler, core):
+        executive = Executive(
+            scheduler, core, watchdog=Watchdog(break_deadlocks=True)
+        )
+
+        def stuck():
+            yield ("block", lambda: False)
+
+        a = make_thread(loader, scheduler, "a")
+        b = make_thread(loader, scheduler, "b")
+        executive.spawn(a, stuck())
+        executive.spawn(b, stuck())
+        stats = executive.run()  # returns instead of raising
+        assert stats.deadlocks_broken == 1
+        assert stats.watchdog_kills == 2
+        assert {e[1] for e in stats.watchdog_events} == {
+            "kill: deadlocked predicate wait"
+        }

@@ -85,7 +85,10 @@ def _mint(system, compartment, export):
     from repro.rtos.compartment import ImportToken
 
     comp = system.switcher.compartment(compartment)
-    sealed = comp.globals_cap.set_address(comp.globals_cap.base).seal(
+    entry = system.switcher.register_export_entry(
+        compartment, export, comp.globals_cap
+    )
+    sealed = comp.globals_cap.set_address(entry).seal(
         system.switcher.unseal_authority.set_address(
             RTOS_DATA_OTYPES["compartment-export"]
         )

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""CI gate: the fault-injection claims must not regress.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python tools/check_fault_regression.py \
+        [--baseline BENCH_faults.json] [--total 750]
+
+Re-runs a short campaign with the baseline's seed and enforces:
+
+* **zero escaped injections** — the paper's claim is absolute, so the
+  gate is too;
+* **detection-rate non-regression** — the fraction of activated faults
+  the architecture stopped must not drop below the committed baseline
+  (beyond a small tolerance for the different sample size);
+* the committed baseline itself must record zero escapes.
+
+Exit status 1 on any violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.faultinject import run_campaign  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--baseline",
+        default="BENCH_faults.json",
+        help="committed campaign JSON (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--total",
+        type=int,
+        default=750,
+        help="injections for the verification run (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.02,
+        help="allowed detection-rate drop vs baseline (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read baseline {args.baseline!r}: {exc}", file=sys.stderr)
+        return 2
+
+    failed = False
+    base_escaped = baseline.get("outcomes", {}).get("escaped")
+    if base_escaped != 0:
+        print(
+            f"baseline records {base_escaped} escaped injections (must be 0)",
+            file=sys.stderr,
+        )
+        failed = True
+
+    result = run_campaign(total=args.total, seed=baseline["seed"])
+    tally = result.tally()
+    print(
+        f"  verification run ({args.total} injections, seed {baseline['seed']}): "
+        f"{tally['masked']} masked, {tally['detected']} detected, "
+        f"{tally['contained']} contained, {tally['escaped']} escaped"
+    )
+    if result.escaped:
+        for record in result.escaped:
+            print(
+                f"  ESCAPED #{record.index} {record.scenario}: {record.detail}",
+                file=sys.stderr,
+            )
+        failed = True
+
+    base_rate = baseline.get("detection_rate", 1.0)
+    rate = result.detection_rate
+    print(
+        f"  detection rate: baseline {base_rate:.4f}, now {rate:.4f} "
+        f"(tolerance {args.tolerance})"
+    )
+    if rate < base_rate - args.tolerance:
+        print("detection rate regressed", file=sys.stderr)
+        failed = True
+
+    if failed:
+        print("fault-injection regression detected", file=sys.stderr)
+        return 1
+    print("fault-injection claims hold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

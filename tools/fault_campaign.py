@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Run a seeded fault-injection campaign and write the result JSON.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python tools/fault_campaign.py [--campaign short|full]
+        [--total N] [--seed N] [--output BENCH_faults.json] [--check]
+
+``--campaign full`` (10,000 injections) refreshes the committed
+``BENCH_faults.json``; ``--campaign short`` (750 injections) is the
+fast configuration wired into ``make test``.  The output is fully
+deterministic for a given ``(seed, total)`` pair — no timestamps, no
+environment — so the committed file is bit-reproducible.
+
+``--check`` additionally exits non-zero if any injection escaped, so
+the runner doubles as a gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.faultinject import run_campaign  # noqa: E402
+from repro.faultinject.campaign import DEFAULT_SEED  # noqa: E402
+
+CAMPAIGN_SIZES = {"short": 750, "full": 10_000}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--campaign",
+        choices=sorted(CAMPAIGN_SIZES),
+        default="full",
+        help="preset injection count (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--total",
+        type=int,
+        default=None,
+        help="override the preset injection count",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=DEFAULT_SEED,
+        help="campaign RNG seed (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_faults.json",
+        help="result JSON path (default: %(default)s); '-' for stdout",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 if any injection escaped",
+    )
+    args = parser.parse_args(argv)
+
+    total = args.total if args.total is not None else CAMPAIGN_SIZES[args.campaign]
+
+    def progress(done: int, planned: int) -> None:
+        print(f"  {done}/{planned} injections", file=sys.stderr)
+
+    result = run_campaign(total=total, seed=args.seed, progress=progress)
+    payload = json.dumps(result.to_dict(), indent=2, sort_keys=True) + "\n"
+    if args.output == "-":
+        sys.stdout.write(payload)
+    else:
+        with open(args.output, "w") as fh:
+            fh.write(payload)
+        print(f"wrote {args.output}")
+
+    tally = result.tally()
+    print(
+        f"{result.total} injections: {tally['masked']} masked, "
+        f"{tally['detected']} detected, {tally['contained']} contained, "
+        f"{tally['escaped']} ESCAPED ({result.wrong_results} wrong results)"
+    )
+    if args.check and result.escaped:
+        for record in result.escaped:
+            print(
+                f"ESCAPED #{record.index} {record.scenario}: {record.detail}",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
