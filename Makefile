@@ -4,9 +4,12 @@ export PYTHONPATH := src
 ## Fault-campaign preset for `make faults` (short or full).
 CAMPAIGN ?= short
 
-.PHONY: test bench bench-speed bench-check faults faults-check
+## Output path for `make trace` (open it at https://ui.perfetto.dev).
+TRACE ?= trace.json
 
-test: faults-check
+.PHONY: test bench bench-speed bench-check faults faults-check profile trace
+
+test: faults-check bench-check
 	$(PYTHON) -m pytest -x -q
 
 bench:
@@ -33,3 +36,13 @@ endif
 ## CI gate: zero escaped injections + detection-rate non-regression.
 faults-check:
 	$(PYTHON) tools/check_fault_regression.py
+
+## Per-compartment cycle attribution + hot-PC report for the reference
+## telemetry workload (exits non-zero if attribution fails to reconcile
+## with the core model's cycle count).
+profile:
+	$(PYTHON) tools/profile_report.py
+
+## Export a Perfetto trace of the reference telemetry workload.
+trace:
+	$(PYTHON) tools/trace_export.py -o $(TRACE)

@@ -166,6 +166,9 @@ class CheriHeap:
             else int(region.size * self.DEFAULT_QUARANTINE_FRACTION)
         )
         self.stats = HeapStats()
+        #: Optional :class:`repro.obs.Telemetry`; instrumentation sites
+        #: below are guarded by one ``is not None`` check each.
+        self.obs = None
         # Live allocations: capability base -> (chunk, padded payload base).
         self._live: Dict[int, Chunk] = {}
         # Cycle at which the most recent *background* hardware pass
@@ -236,6 +239,20 @@ class CheriHeap:
         """
         if size <= 0:
             raise ValueError("allocation size must be positive")
+        obs = self.obs
+        span = None
+        if obs is not None:
+            span = obs.tracer.begin("malloc", "alloc", bytes=size)
+            obs.attributor.push("allocator")
+            obs.alloc_sizes.observe(size)
+        try:
+            return self._malloc(size)
+        finally:
+            if obs is not None:
+                obs.attributor.pop()
+                obs.tracer.end(span)
+
+    def _malloc(self, size: int) -> Capability:
         self._maybe_complete_pass()
         rounded, align = self._padded_request(size)
         # Over-allocate so an aligned payload base fits inside the chunk.
@@ -374,6 +391,19 @@ class CheriHeap:
         non-baseline modes, and by the allocator's own metadata here),
         and :class:`DoubleFree` for repeated frees.
         """
+        obs = self.obs
+        span = None
+        if obs is not None:
+            span = obs.tracer.begin("free", "alloc", bytes=cap.length)
+            obs.attributor.push("allocator")
+        try:
+            self._free(cap)
+        finally:
+            if obs is not None:
+                obs.attributor.pop()
+                obs.tracer.end(span)
+
+    def _free(self, cap: Capability) -> None:
         self._maybe_complete_pass()
         if not cap.tag:
             raise InvalidFree("free of untagged capability")
@@ -433,16 +463,28 @@ class CheriHeap:
 
         Returns the number of chunks returned to the free lists.
         """
-        if self.mode is TemporalSafetyMode.SOFTWARE:
-            assert self.software_revoker is not None
-            self.software_revoker.sweep(self.region.base, self.region.top)
-        elif self.mode is TemporalSafetyMode.HARDWARE:
-            assert self.hardware_revoker is not None
-            self._run_hardware_pass()
-        else:
-            return 0
-        self.stats.revocation_passes += 1
-        return self._reap()
+        obs = self.obs
+        span = None
+        if obs is not None:
+            span = obs.tracer.begin(
+                "revocation-sweep", "revoker", mode=self.mode.value
+            )
+            obs.attributor.push("revoker")
+        try:
+            if self.mode is TemporalSafetyMode.SOFTWARE:
+                assert self.software_revoker is not None
+                self.software_revoker.sweep(self.region.base, self.region.top)
+            elif self.mode is TemporalSafetyMode.HARDWARE:
+                assert self.hardware_revoker is not None
+                self._run_hardware_pass()
+            else:
+                return 0
+            self.stats.revocation_passes += 1
+            return self._reap()
+        finally:
+            if obs is not None:
+                obs.attributor.pop()
+                obs.tracer.end(span)
 
     #: CPU slowdown from bus arbitration while a background pass runs
     #: concurrently with application code: the engine only takes idle

@@ -243,13 +243,21 @@ class Capability:
         """``csetbounds``: narrow bounds to ``[address, address+length)``.
 
         Raises :class:`MonotonicityFault` when the (rounded) requested
-        region is not contained in the current bounds, and the usual
+        region is not contained in the current bounds,
+        :class:`BoundsFault` when the request is not encodable at all
+        (negative length, top past the address space), and the usual
         faults for untagged / sealed sources.
         """
         self._require_unsealed_tagged()
-        encoded, new_base, new_top = bounds_mod.encode(
-            self.address, length, exact=exact
-        )
+        try:
+            encoded, new_base, new_top = bounds_mod.encode(
+                self.address, length, exact=exact
+            )
+        except BoundsError as err:
+            # Surface unencodable requests as the architectural fault so
+            # a csetbounds from guest code traps instead of escaping the
+            # simulator as a raw ValueError.
+            raise BoundsFault(str(err)) from err
         if new_base < self.base or new_top > self.top:
             raise MonotonicityFault(
                 f"setbounds [{new_base:#x}, {new_top:#x}) exceeds "

@@ -160,7 +160,27 @@ class CPU:
         #: it to mutate architectural state at a precise instruction
         #: boundary; a ``None`` hook costs one comparison per step.
         self.pre_step_hook: Optional[Callable[["CPU"], None]] = None
+        #: Retire hooks (tracing, profiling): called with ``(instr,
+        #: info)`` after the timing model sees each retired instruction.
+        #: Stored as a tuple-or-None so the hot step paths pay exactly
+        #: one ``is None`` comparison when nothing is attached.
+        self._retire_hooks: Optional[tuple] = None
         self._halted = False
+
+    # ------------------------------------------------------------------
+    # Retire hooks
+    # ------------------------------------------------------------------
+
+    def add_retire_hook(self, hook: Callable) -> None:
+        """Observe every retired instruction as ``hook(instr, info)``."""
+        hooks = self._retire_hooks or ()
+        self._retire_hooks = hooks + (hook,)
+
+    def remove_retire_hook(self, hook: Callable) -> None:
+        # Equality, not identity: a bound method like ``trace.record`` is
+        # a fresh object on every attribute access.
+        hooks = tuple(h for h in (self._retire_hooks or ()) if h != hook)
+        self._retire_hooks = hooks or None
 
     # ------------------------------------------------------------------
     # PCC and its cached fetch window
@@ -315,6 +335,9 @@ class CPU:
         self.stats.instructions += 1
         if self.timing is not None:
             self.timing.retire(instr, info)
+        if self._retire_hooks is not None:
+            for hook in self._retire_hooks:
+                hook(instr, info)
         self.pc = next_pc
 
     def _fetch_pcc_check(self, pc: int) -> None:
@@ -361,6 +384,9 @@ class CPU:
         self.stats.instructions += 1
         if self.timing is not None:
             self.timing.retire(instr, info)
+        if self._retire_hooks is not None:
+            for hook in self._retire_hooks:
+                hook(instr, info)
         self.pc = next_pc
 
     # ------------------------------------------------------------------

@@ -1,11 +1,16 @@
 """Execution tracing for the ISA simulator.
 
-Attach an :class:`ExecutionTrace` to a CPU's ``timing`` slot (it proxies
-to a real timing model if you also want cycles) and every retired
-instruction is recorded with its PC and disassembly; capability-register
-writes can be reconstructed from the register file afterwards.  This is
-a debugging aid for compiler and RTOS work — the embedded equivalent of
-a waveform viewer's instruction lane.
+Attach an :class:`ExecutionTrace` to a CPU with :meth:`attach` — it
+rides the executor's retire hook, so the ``timing`` slot stays free for
+a real timing model — and every retired instruction is recorded with
+its PC and disassembly; capability-register writes can be reconstructed
+from the register file afterwards.  This is a debugging aid for
+compiler and RTOS work — the embedded equivalent of a waveform viewer's
+instruction lane.
+
+For backward compatibility the trace still *can* sit in the ``timing``
+slot (optionally chained to a real timing model via ``timing=``); both
+styles record through the same :meth:`record` path.
 """
 
 from __future__ import annotations
@@ -33,7 +38,7 @@ class TraceEntry:
 
 
 class ExecutionTrace:
-    """Retire-stream recorder, optionally chained to a timing model."""
+    """Retire-stream recorder riding the CPU's retire hook."""
 
     def __init__(self, timing=None, limit: int = 100_000, code_base: int = 0) -> None:
         self.timing = timing
@@ -42,28 +47,42 @@ class ExecutionTrace:
         self.entries: List[TraceEntry] = []
         self._dropped = 0
 
-    # The executor only calls retire(); present the same interface.
-    def retire(self, instr: Instruction, info) -> None:
-        if len(self.entries) < self.limit:
-            pc = self.code_base  # refined below if the chained model knows
-            self.entries.append(
-                TraceEntry(
-                    index=len(self.entries),
-                    pc=self._pc_of(info),
-                    text=instr.text or format_instruction(instr, self.code_base),
-                    timing_class=instr.timing_class,
-                    branch_taken=info.branch_taken,
-                )
-            )
-        else:
+    # ------------------------------------------------------------------
+    # The retire hook
+    # ------------------------------------------------------------------
+
+    def attach(self, cpu) -> "ExecutionTrace":
+        """Register on ``cpu``'s retire hook; returns self for chaining."""
+        cpu.add_retire_hook(self.record)
+        return self
+
+    def detach(self, cpu) -> None:
+        cpu.remove_retire_hook(self.record)
+
+    def record(self, instr: Instruction, info) -> None:
+        """Record one retired instruction (the hook signature)."""
+        if len(self.entries) >= self.limit:
             self._dropped += 1
+            return
+        self.entries.append(
+            TraceEntry(
+                index=len(self.entries),
+                pc=info.pc,
+                text=instr.text or format_instruction(instr, self.code_base),
+                timing_class=instr.timing_class,
+                branch_taken=info.branch_taken,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Legacy timing-slot adapter
+    # ------------------------------------------------------------------
+
+    def retire(self, instr: Instruction, info) -> None:
+        """Timing-model interface: record, then chain to the real model."""
+        self.record(instr, info)
         if self.timing is not None:
             self.timing.retire(instr, info)
-
-    def _pc_of(self, info) -> int:
-        # The retire info does not carry the PC; traces are index-based
-        # unless a CPU hook sets one (see CPU.attach_trace).
-        return getattr(info, "pc", 0)
 
     def charge(self, cycles: int) -> None:
         if self.timing is not None:
@@ -74,6 +93,10 @@ class ExecutionTrace:
         if self.timing is None:
             raise AttributeError("no chained timing model")
         return self.timing.params
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
 
     @property
     def dropped(self) -> int:

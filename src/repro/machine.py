@@ -20,7 +20,6 @@ cross-compartment call and stack-zeroing machinery.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields, is_dataclass
 from typing import Optional
 
 from repro.allocator import CheriHeap, TemporalSafetyMode
@@ -33,6 +32,7 @@ from repro.memory import (
     TaggedMemory,
     default_memory_map,
 )
+from repro.obs import MetricsRegistry, MetricsSnapshot, Telemetry
 from repro.pipeline import CoreKind, CoreModel, make_core_model
 from repro.revoker import BackgroundRevoker, EpochCounter, SoftwareRevoker
 from repro.rtos import (
@@ -79,6 +79,7 @@ class System:
         app: Compartment,
         main_thread: Thread,
         idle_thread: Thread,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.memory_map = memory_map
         self.bus = bus
@@ -99,6 +100,49 @@ class System:
         self.app = app
         self.main_thread = main_thread
         self.idle_thread = idle_thread
+        self.obs = telemetry
+        # The metrics registry replaces the ad-hoc dict plumbing that
+        # stats_summary used to hand-build: every classic stat holder
+        # registers once, in the summary's historical key order, and
+        # summaries/diffs are registry snapshots from here on.  With
+        # telemetry enabled the same registry also carries the obs
+        # metrics (span counts, allocation-size histogram).
+        self.registry = telemetry.registry if telemetry else MetricsRegistry()
+        self.registry.register_scalar("cycles", lambda: self.core_model.cycles)
+        self.registry.register_source("bus", self.bus.stats)
+        self.registry.register_source("heap", self.allocator.stats)
+        self.registry.register_source("switcher", self.switcher.stats)
+        self.registry.register_source("scheduler", self.scheduler.stats)
+        self.registry.register_source(
+            "software_revoker", self.software_revoker.stats
+        )
+        self.registry.register_source(
+            "hardware_revoker", self.hardware_revoker.stats
+        )
+        self.registry.register_source("load_filter", self.load_filter.stats)
+        self.registry.register_scalar("epoch", lambda: self.epoch.value)
+        self.registry.register_scalar(
+            "quarantined_bytes", lambda: self.allocator.quarantined_bytes
+        )
+        self.registry.register_scalar(
+            "live_allocations", lambda: self.allocator.live_allocations
+        )
+
+    #: The registry groups stats_summary() has always reported, in its
+    #: historical key order (tests and reports rely on the shape).
+    _CLASSIC_GROUPS = (
+        "cycles",
+        "bus",
+        "heap",
+        "switcher",
+        "scheduler",
+        "software_revoker",
+        "hardware_revoker",
+        "load_filter",
+        "epoch",
+        "quarantined_bytes",
+        "live_allocations",
+    )
 
     # ------------------------------------------------------------------
     # Construction
@@ -115,6 +159,8 @@ class System:
         quarantine_threshold: Optional[int] = None,
         app_stack_size: int = 1024,
         finalize: bool = True,
+        telemetry: bool = False,
+        trace_capacity: Optional[int] = None,
     ) -> "System":
         """Boot a system: memory, devices, RTOS image, allocator.
 
@@ -124,6 +170,12 @@ class System:
         variants.  With ``finalize=False`` the loader keeps the boot
         roots so the caller can add more compartments (the IoT app does)
         before calling ``system.loader.finalize()`` itself.
+
+        ``telemetry`` wires a :class:`repro.obs.Telemetry` (span tracer,
+        cycle attributor, obs metrics) into the switcher, scheduler,
+        allocator and revokers; disabled, those subsystems follow the
+        seed's exact code paths.  ``trace_capacity`` bounds the span
+        ring buffer.
         """
         mm = memory_map if memory_map is not None else default_memory_map()
         bus = SystemBus()
@@ -203,6 +255,18 @@ class System:
             APP_RESIDENT_STACK, app_stack_size - 64
         )
 
+        obs: Optional[Telemetry] = None
+        if telemetry:
+            if trace_capacity is not None:
+                obs = Telemetry(core_model, capacity=trace_capacity)
+            else:
+                obs = Telemetry(core_model)
+            switcher.obs = obs
+            scheduler.obs = obs
+            allocator.obs = obs
+            software_revoker.obs = obs
+            hardware_revoker.obs = obs
+
         if finalize:
             loader.finalize()
         return System(
@@ -225,6 +289,7 @@ class System:
             app=app_comp,
             main_thread=main_thread,
             idle_thread=idle_thread,
+            telemetry=obs,
         )
 
     # ------------------------------------------------------------------
@@ -256,29 +321,32 @@ class System:
     def reset_cycles(self) -> None:
         """Zero the cycle counters (between benchmark phases)."""
         self.core_model.reset()
+        if self.obs is not None:
+            self.obs.attributor.rebase()
 
     def stats_summary(self) -> dict:
-        """One dict of every subsystem's counters (for reports/tests)."""
+        """One dict of every subsystem's counters (for reports/tests).
 
-        def as_dict(stats) -> dict:
-            # Slotted stats dataclasses have no __dict__ for vars().
-            if is_dataclass(stats):
-                return {f.name: getattr(stats, f.name) for f in fields(stats)}
-            return vars(stats).copy()
+        Delegates to the metrics registry, restricted to the classic
+        groups so the shape is identical whether or not telemetry is
+        enabled (obs-only metrics live in :meth:`stats_snapshot`).
+        """
+        return self.registry.snapshot(self._CLASSIC_GROUPS).as_dict()
 
-        return {
-            "cycles": self.core_model.cycles,
-            "bus": as_dict(self.bus.stats),
-            "heap": as_dict(self.allocator.stats),
-            "switcher": as_dict(self.switcher.stats),
-            "scheduler": as_dict(self.scheduler.stats),
-            "software_revoker": as_dict(self.software_revoker.stats),
-            "hardware_revoker": as_dict(self.hardware_revoker.stats),
-            "load_filter": as_dict(self.load_filter.stats),
-            "epoch": self.epoch.value,
-            "quarantined_bytes": self.allocator.quarantined_bytes,
-            "live_allocations": self.allocator.live_allocations,
-        }
+    def stats_snapshot(self) -> MetricsSnapshot:
+        """A full registry snapshot (classic groups plus obs metrics)."""
+        return self.registry.snapshot()
+
+    def stats_diff(self, before: MetricsSnapshot) -> dict:
+        """Numeric deltas of every registered metric since ``before``.
+
+        The before/after idiom for workloads::
+
+            before = system.stats_snapshot()
+            run_workload(system)
+            delta = system.stats_diff(before)
+        """
+        return self.registry.snapshot().diff(before).as_dict()
 
     def audit(self):
         """The section 3.1.2 image audit for this system."""

@@ -1,0 +1,119 @@
+"""Chrome/Perfetto ``trace_event`` JSON export.
+
+The output is the JSON-object flavour understood by both
+``chrome://tracing`` and https://ui.perfetto.dev::
+
+    {"traceEvents": [...], "displayTimeUnit": "ms", ...}
+
+Mapping from this repo's model:
+
+* one Perfetto *process* represents the simulated SoC;
+* each :class:`~repro.obs.span.Span` ``track`` becomes a *thread* row
+  (tids are assigned in first-seen order, with metadata ``M`` events
+  naming them);
+* closed spans export as phase ``"X"`` complete events, instants as
+  phase ``"i"``;
+* timestamps convert from cycles to microseconds at the core clock
+  (``frequency_mhz``, 100 MHz for both Flute and Ibex), so span
+  durations read as real time on the configured core.
+
+Events are sorted by timestamp so ``ts`` is monotonic in the file —
+ring-buffer eviction and late ``complete()`` records (background
+revoker passes) would otherwise leave them out of order.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, List, Optional
+
+from .span import Span
+
+PROCESS_NAME = "cheriot-sim"
+DEFAULT_PID = 1
+
+
+def spans_to_trace_events(
+    spans: Iterable[Span],
+    frequency_mhz: float = 100.0,
+    pid: int = DEFAULT_PID,
+) -> List[dict]:
+    """Convert spans to a sorted ``trace_event`` list with metadata."""
+    scale = 1.0 / frequency_mhz  # cycles -> microseconds
+
+    tids: dict = {}
+
+    def tid_for(track: str) -> int:
+        if track not in tids:
+            tids[track] = len(tids) + 1
+        return tids[track]
+
+    events: List[dict] = []
+    for span in spans:
+        event = {
+            "name": span.name,
+            "cat": span.category,
+            "pid": pid,
+            "tid": tid_for(span.track),
+            "ts": round(span.begin * scale, 3),
+        }
+        if span.is_instant:
+            event["ph"] = "i"
+            event["s"] = "t"  # thread-scoped instant
+        else:
+            event["ph"] = "X"
+            event["dur"] = round(span.duration * scale, 3)
+        if span.args:
+            event["args"] = dict(span.args)
+        events.append(event)
+
+    events.sort(key=lambda e: (e["ts"], e.get("dur", 0)))
+
+    meta: List[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "args": {"name": PROCESS_NAME},
+        }
+    ]
+    for track, tid in tids.items():
+        meta.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": track},
+            }
+        )
+    return meta + events
+
+
+def export_trace(
+    spans: Iterable[Span],
+    frequency_mhz: float = 100.0,
+    metadata: Optional[dict] = None,
+) -> dict:
+    """The full JSON-object document for a span list."""
+    document = {
+        "traceEvents": spans_to_trace_events(spans, frequency_mhz),
+        "displayTimeUnit": "ms",
+    }
+    if metadata:
+        document["otherData"] = dict(metadata)
+    return document
+
+
+def write_trace(
+    path: str,
+    spans: Iterable[Span],
+    frequency_mhz: float = 100.0,
+    metadata: Optional[dict] = None,
+) -> int:
+    """Write the trace JSON to ``path``; returns the event count."""
+    document = export_trace(spans, frequency_mhz, metadata)
+    with open(path, "w") as fh:
+        json.dump(document, fh, indent=1)
+        fh.write("\n")
+    return len(document["traceEvents"])

@@ -1,0 +1,151 @@
+"""Cycle attribution: who spent the cycles, and at which PC.
+
+Two independent profilers share the CoreModel cycle clock:
+
+:class:`CycleAttributor`
+    A context stack.  RTOS layers push a context name ("switcher", a
+    compartment name, "scheduler", "allocator", "revoker") around the
+    work they do; every push/pop settles the cycles elapsed since the
+    last transition into the context that was running.  Because every
+    elapsed cycle lands in exactly one bucket, the totals reconcile
+    with ``CoreModel.cycles`` by construction — the invariant
+    ``make profile`` checks.
+
+:class:`PCProfiler`
+    A CPU retire hook.  Each retired instruction is charged the cycles
+    the core model accrued since the previous retire, keyed by PC —
+    the hot-PC histogram.  Attach it only while profiling; detached it
+    costs nothing (the executor's hook check is a single ``is None``
+    branch).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+ROOT_CONTEXT = "app"
+
+
+class CycleAttributor:
+    """Attribute every elapsed cycle to the innermost active context."""
+
+    def __init__(self, core_model) -> None:
+        self.core = core_model
+        self._stack: List[str] = [ROOT_CONTEXT]
+        self._mark = core_model.cycles
+        self.totals: Dict[str, int] = {}
+
+    def _settle(self) -> None:
+        now = self.core.cycles
+        elapsed = now - self._mark
+        if elapsed:
+            top = self._stack[-1]
+            self.totals[top] = self.totals.get(top, 0) + elapsed
+        self._mark = now
+
+    def push(self, context: str) -> None:
+        self._settle()
+        self._stack.append(context)
+
+    def pop(self) -> None:
+        self._settle()
+        if len(self._stack) > 1:
+            self._stack.pop()
+
+    def rebase(self) -> None:
+        """Forget un-settled cycles — pairs with ``System.reset_cycles``."""
+        self._mark = self.core.cycles
+
+    @property
+    def current(self) -> str:
+        return self._stack[-1]
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    def snapshot(self) -> Dict[str, int]:
+        """Totals including cycles still accruing in the current context."""
+        self._settle()
+        return dict(self.totals)
+
+    def total(self) -> int:
+        return sum(self.snapshot().values())
+
+
+class PCProfiler:
+    """Hot-PC histogram built from the executor's retire hook."""
+
+    def __init__(self, core_model) -> None:
+        self.core = core_model
+        self._last = core_model.cycles
+        self.cycles_by_pc: Dict[int, int] = {}
+        self.hits_by_pc: Dict[int, int] = {}
+        self.text_by_pc: Dict[int, str] = {}
+        self.retired = 0
+
+    def attach(self, cpu) -> "PCProfiler":
+        """Register on ``cpu`` and resync the cycle mark."""
+        self._last = self.core.cycles
+        cpu.add_retire_hook(self.record)
+        return self
+
+    def detach(self, cpu) -> None:
+        cpu.remove_retire_hook(self.record)
+
+    def record(self, instr, info) -> None:
+        now = self.core.cycles
+        pc = info.pc
+        self.cycles_by_pc[pc] = self.cycles_by_pc.get(pc, 0) + (now - self._last)
+        self.hits_by_pc[pc] = self.hits_by_pc.get(pc, 0) + 1
+        if pc not in self.text_by_pc:
+            self.text_by_pc[pc] = getattr(instr, "text", None) or type(instr).__name__
+        self.retired += 1
+        self._last = now
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(self.cycles_by_pc.values())
+
+    def hot(self, n: int = 10) -> List[Tuple[int, int, int, str]]:
+        """Top-``n`` PCs by cycles: (pc, cycles, hits, text)."""
+        ranked = sorted(
+            self.cycles_by_pc.items(), key=lambda item: item[1], reverse=True
+        )
+        return [
+            (pc, cycles, self.hits_by_pc[pc], self.text_by_pc.get(pc, "?"))
+            for pc, cycles in ranked[:n]
+        ]
+
+
+def render_attribution(
+    totals: Dict[str, int],
+    core_cycles: Optional[int] = None,
+    width: int = 40,
+) -> str:
+    """Text flamegraph-style bars for a per-context cycle breakdown."""
+    lines = []
+    grand = sum(totals.values())
+    denominator = grand or 1
+    for name, cycles in sorted(totals.items(), key=lambda kv: kv[1], reverse=True):
+        frac = cycles / denominator
+        bar = "#" * max(1, round(frac * width)) if cycles else ""
+        lines.append(f"  {name:<16} {cycles:>12,}  {frac:6.1%}  {bar}")
+    lines.append(f"  {'total':<16} {grand:>12,}")
+    if core_cycles is not None:
+        status = "reconciled" if grand == core_cycles else "MISMATCH"
+        lines.append(f"  {'core model':<16} {core_cycles:>12,}  [{status}]")
+    return "\n".join(lines)
+
+
+def render_hot_pcs(profiler: PCProfiler, n: int = 10, width: int = 30) -> str:
+    """Text histogram of the hottest PCs."""
+    rows = profiler.hot(n)
+    if not rows:
+        return "  (no samples)"
+    top = rows[0][1] or 1
+    lines = []
+    for pc, cycles, hits, text in rows:
+        bar = "#" * max(1, round(cycles / top * width))
+        lines.append(f"  {pc:#010x}  {cycles:>10,} cyc  {hits:>8,} hits  {bar}  {text}")
+    return "\n".join(lines)

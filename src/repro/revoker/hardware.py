@@ -74,6 +74,8 @@ class BackgroundRevoker:
         self.epoch = epoch if epoch is not None else EpochCounter()
         self.core_model = core_model
         self.stats = RevokerStats()
+        #: Optional :class:`repro.obs.Telemetry`.
+        self.obs = None
         self._start = 0
         self._end = 0
         self._cursor = 0
@@ -236,7 +238,21 @@ class BackgroundRevoker:
             if self._running:
                 self._finish()
         if self.core_model is not None:
-            return self.core_model.sweep_cycles_hardware(
+            wall = self.core_model.sweep_cycles_hardware(
                 end - start, cpu_blocked=cpu_blocked
             )
+            if self.obs is not None and wall:
+                # The engine runs in the load-store unit's idle beats:
+                # its pass occupies [now, now + wall) of wall-clock.
+                now = self.core_model.cycles
+                self.obs.tracer.complete(
+                    "hw-revoker-pass",
+                    "revoker",
+                    now,
+                    now + wall,
+                    track="revoker",
+                    bytes=end - start,
+                    blocked=cpu_blocked,
+                )
+            return wall
         return 0

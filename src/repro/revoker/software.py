@@ -64,6 +64,8 @@ class SoftwareRevoker:
         #: latency monitors can observe the bounded window.
         self.csr = csr
         self.stats = SweepStats()
+        #: Optional :class:`repro.obs.Telemetry`.
+        self.obs = None
 
     def _sweep_word(self, address: int) -> None:
         """The atomic loop body: load a capability word, store it back.
@@ -90,6 +92,21 @@ class SoftwareRevoker:
         """
         if start % 8 or end % 8 or end < start:
             raise ValueError("sweep region must be 8-byte aligned and ordered")
+        obs = self.obs
+        span = None
+        if obs is not None:
+            span = obs.tracer.begin(
+                "sw-sweep", "revoker", track="revoker", bytes=end - start
+            )
+            obs.attributor.push("revoker")
+        try:
+            return self._sweep(start, end)
+        finally:
+            if obs is not None:
+                obs.attributor.pop()
+                obs.tracer.end(span)
+
+    def _sweep(self, start: int, end: int) -> Tuple[int, int]:
         self.epoch.begin_sweep()
         words = (end - start) // 8
         # Functional effect: only *tagged* words can hold capabilities,

@@ -104,10 +104,14 @@ class Executive:
         scheduler: Scheduler,
         core_model,
         watchdog: Optional[Watchdog] = None,
+        obs=None,
     ) -> None:
         self.scheduler = scheduler
         self.core_model = core_model
         self.watchdog = watchdog
+        #: Optional :class:`repro.obs.Telemetry` (defaults to whatever
+        #: the scheduler was wired with, so one flag covers both).
+        self.obs = obs if obs is not None else scheduler.obs
         self.stats = ExecutiveStats()
         self._tasks: Dict[int, _Task] = {}
 
@@ -153,12 +157,20 @@ class Executive:
             task.thread.state = ThreadState.READY
             self.stats.watchdog_restarts += 1
             self.stats.watchdog_events.append((task.thread.name, f"restart: {reason}"))
+            if self.obs is not None:
+                self.obs.tracer.instant(
+                    f"watchdog-restart {task.thread.name}", "watchdog", reason=reason
+                )
             return
         task.body.close()
         task.thread.state = ThreadState.FINISHED
         self.stats.watchdog_kills += 1
         self.stats.threads_finished += 1
         self.stats.watchdog_events.append((task.thread.name, f"kill: {reason}"))
+        if self.obs is not None:
+            self.obs.tracer.instant(
+                f"watchdog-kill {task.thread.name}", "watchdog", reason=reason
+            )
 
     def _over_budget(self, task: _Task) -> bool:
         wd = self.watchdog
@@ -227,6 +239,22 @@ class Executive:
         )
 
     def _run_task(self, task: _Task) -> None:
+        obs = self.obs
+        if obs is None:
+            self._drive(task)
+            return
+        span = obs.tracer.begin(
+            f"run {task.thread.name}",
+            "thread",
+            track=f"thread:{task.thread.name}",
+            tid=task.thread.tid,
+        )
+        try:
+            self._drive(task)
+        finally:
+            obs.tracer.end(span)
+
+    def _drive(self, task: _Task) -> None:
         self.scheduler.switch_to(task.thread)
         task.slice_started_at = self.core_model.cycles
         timeslice = self.scheduler.timeslice_cycles

@@ -47,6 +47,8 @@ class Scheduler:
         self.core_model = core_model
         self.timeslice_cycles = timeslice_cycles
         self.stats = SchedulerStats()
+        #: Optional :class:`repro.obs.Telemetry`.
+        self.obs = None
         self._threads: Dict[int, Thread] = {}
         self._current: Optional[Thread] = None
 
@@ -89,6 +91,15 @@ class Scheduler:
         previous = self._current
         if previous is thread:
             return
+        obs = self.obs
+        if obs is not None:
+            obs.attributor.push("scheduler")
+            obs.tracer.instant(
+                f"context-switch -> {thread.name}",
+                "sched",
+                tid=thread.tid,
+                from_thread=previous.name if previous is not None else None,
+            )
         if previous is not None:
             previous.hwm_state = self.csr.save_hwm()
             if previous.state is ThreadState.RUNNING:
@@ -102,6 +113,8 @@ class Scheduler:
         self.stats.context_switches += 1
         if self.core_model is not None:
             self.core_model.charge(self.context_switch_cost())
+        if obs is not None:
+            obs.attributor.pop()
 
     def pick_next(self) -> Optional[Thread]:
         """Highest-priority READY thread, round-robin within a level."""

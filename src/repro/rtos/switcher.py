@@ -209,6 +209,10 @@ class CompartmentSwitcher:
         self.core_model = core_model
         self.unseal_authority = unseal_authority
         self.stats = SwitcherStats()
+        #: Optional :class:`repro.obs.Telemetry`; every instrumentation
+        #: site below is guarded by one ``is not None`` check so the
+        #: un-instrumented call path is exactly the seed's.
+        self.obs = None
         self._compartments: Dict[str, Compartment] = {}
         self._trusted_stack: List[_Frame] = []
         #: Export table: entry address -> (compartment, export).  The
@@ -338,8 +342,23 @@ class CompartmentSwitcher:
                 # restored) by _invoke's finally block; charge the error
                 # path's extra instructions on top.
                 self.stats.faults_contained += 1
-                self._charge_instrs(FAULT_UNWIND_INSTRS)
-                action = self._consult_error_handler(target, token, fault, retries)
+                obs = self.obs
+                if obs is not None:
+                    obs.tracer.instant(
+                        f"fault-unwind {token.compartment_name}",
+                        "fault",
+                        cause=type(fault).__name__,
+                        export=token.export_name,
+                    )
+                    obs.attributor.push("switcher")
+                try:
+                    self._charge_instrs(FAULT_UNWIND_INSTRS)
+                    action = self._consult_error_handler(
+                        target, token, fault, retries
+                    )
+                finally:
+                    if obs is not None:
+                        obs.attributor.pop()
                 if action is RecoveryAction.RETRY and retries < MAX_FAULT_RETRIES:
                     retries += 1
                     self.stats.faults_retried += 1
@@ -354,6 +373,15 @@ class CompartmentSwitcher:
     def _invoke(self, thread: Thread, target: Compartment, export: Export, args):
         """One entry through the call/return path (no fault policy)."""
         self.stats.calls += 1
+        obs = self.obs
+        xcall_span = None
+        if obs is not None:
+            xcall_span = obs.tracer.begin(
+                f"xcall {target.name}.{export.name}",
+                "switcher",
+                depth=len(self._trusted_stack) + 1,
+            )
+            obs.attributor.push("switcher")
         self._charge_instrs(CROSS_CALL_INSTRS + export.veneer_instructions)
 
         saved_posture = self.csr.interrupts_enabled
@@ -372,9 +400,20 @@ class CompartmentSwitcher:
         self._trusted_stack.append(frame)
 
         context = CallContext(self, target, thread, callee_stack, args)
+        callee_span = None
         try:
+            if obs is not None:
+                callee_span = obs.tracer.begin(
+                    f"{target.name}.{export.name}", "compartment"
+                )
+                obs.attributor.push(target.name)
             return export.handler(context, *args)
         finally:
+            if obs is not None:
+                # Close the callee first so the return-path zeroing and
+                # instruction charges below land in the switcher bucket.
+                obs.attributor.pop()
+                obs.tracer.end(callee_span)
             self._trusted_stack.pop()
             # Return path: zero exactly what the callee dirtied (HWM) or
             # the whole handed-over region (no HWM), restore SP/posture.
@@ -383,6 +422,9 @@ class CompartmentSwitcher:
             self.csr.interrupts_enabled = frame.interrupts_enabled
             self.stats.returns += 1
             self._charge_instrs(CROSS_RETURN_INSTRS)
+            if obs is not None:
+                obs.attributor.pop()
+                obs.tracer.end(xcall_span)
 
     def _consult_error_handler(
         self,
@@ -411,11 +453,22 @@ class CompartmentSwitcher:
             depth=len(self._trusted_stack) + 1,
             retries=retries,
         )
+        obs = self.obs
+        span = None
+        if obs is not None:
+            span = obs.tracer.begin(
+                f"error-handler {token.compartment_name}",
+                "fault",
+                cause=info.cause_type,
+            )
         try:
             action = handler(info)
         except (CapabilityError, Trap):
             self.stats.error_handler_faults += 1
             return RecoveryAction.UNWIND
+        finally:
+            if obs is not None:
+                obs.tracer.end(span)
         if not isinstance(action, RecoveryAction):
             return RecoveryAction.UNWIND
         return action

@@ -8,8 +8,7 @@ from .conftest import CODE_BASE, make_cpu
 class TestTrace:
     def _traced_run(self, bus, roots, source, **kw):
         cpu = make_cpu(bus, roots, source)
-        trace = ExecutionTrace(code_base=CODE_BASE, **kw)
-        cpu.timing = trace
+        trace = ExecutionTrace(code_base=CODE_BASE, **kw).attach(cpu)
         cpu.run()
         return trace
 
@@ -35,11 +34,24 @@ class TestTrace:
         assert len(trace) == 10
         assert trace.dropped > 0
 
-    def test_chains_to_timing_model(self, bus, roots):
+    def test_hook_coexists_with_timing_model(self, bus, roots):
+        """The hook style leaves the timing slot to the real model."""
         core = make_core_model(CoreKind.IBEX)
         cpu = make_cpu(bus, roots, "li a0, 1\nlw a1, 0(s0)\nhalt")
         from .conftest import DATA_BASE
-        from repro.capability import make_roots
+
+        cpu.regs.write(8, roots.memory.set_address(DATA_BASE).set_bounds(64))
+        cpu.timing = core
+        trace = ExecutionTrace(code_base=CODE_BASE).attach(cpu)
+        cpu.run()
+        assert core.cycles > 0
+        assert len(trace) == 2
+
+    def test_legacy_timing_slot_chains(self, bus, roots):
+        """The deprecated timing-slot style still records and chains."""
+        core = make_core_model(CoreKind.IBEX)
+        cpu = make_cpu(bus, roots, "li a0, 1\nlw a1, 0(s0)\nhalt")
+        from .conftest import DATA_BASE
 
         cpu.regs.write(8, roots.memory.set_address(DATA_BASE).set_bounds(64))
         trace = ExecutionTrace(timing=core, code_base=CODE_BASE)
@@ -47,6 +59,16 @@ class TestTrace:
         cpu.run()
         assert core.cycles > 0
         assert len(trace) == 2
+        assert trace.params is core.params
+
+    def test_detach_stops_recording(self, bus, roots):
+        cpu = make_cpu(bus, roots, "li a0, 1\nli a1, 2\nadd a2, a0, a1\nhalt")
+        trace = ExecutionTrace(code_base=CODE_BASE).attach(cpu)
+        cpu.step()
+        trace.detach(cpu)
+        cpu.run()
+        assert len(trace) == 1
+        assert trace.entries[0].pc == CODE_BASE
 
     def test_histogram_and_render(self, bus, roots):
         trace = self._traced_run(
@@ -87,8 +109,7 @@ class TestTraceUnderPredecode:
         cpu = CPU(bus, ExecutionMode.CHERIOT, predecode=predecode)
         cpu.load_program(assemble(self.SOURCE), CODE_BASE, pcc=roots.executable)
         cpu.regs.write(8, roots.memory.set_address(DATA_BASE).set_bounds(64))
-        trace = ExecutionTrace(code_base=CODE_BASE)
-        cpu.timing = trace
+        trace = ExecutionTrace(code_base=CODE_BASE).attach(cpu)
         cpu.run()
         return trace
 

@@ -1,0 +1,90 @@
+"""Fixtures: a minimal compartmentalised system with telemetry wired in."""
+
+import pytest
+
+from repro.capability import Permission, make_roots
+from repro.isa import CSRFile
+from repro.memory import SystemBus, TaggedMemory, default_memory_map
+from repro.obs import Telemetry
+from repro.pipeline import CoreKind, make_core_model
+from repro.rtos import CompartmentSwitcher, Loader, Scheduler
+
+
+@pytest.fixture
+def mm():
+    return default_memory_map()
+
+
+@pytest.fixture
+def bus(mm):
+    bus = SystemBus()
+    bus.attach_sram(TaggedMemory(mm.code.base, mm.sram_bytes))
+    return bus
+
+
+@pytest.fixture
+def roots():
+    return make_roots()
+
+
+@pytest.fixture
+def core():
+    return make_core_model(CoreKind.IBEX)
+
+
+@pytest.fixture
+def csr():
+    return CSRFile(hwm_enabled=True)
+
+
+@pytest.fixture
+def telemetry(core):
+    return Telemetry(core)
+
+
+@pytest.fixture
+def switcher(bus, csr, roots, core, telemetry):
+    switcher = CompartmentSwitcher(bus, csr, roots.sealing, core)
+    switcher.obs = telemetry
+    return switcher
+
+
+@pytest.fixture
+def loader(mm, roots, switcher):
+    return Loader(mm, roots, switcher)
+
+
+@pytest.fixture
+def scheduler(csr, core, telemetry):
+    scheduler = Scheduler(csr, core, timeslice_cycles=500)
+    scheduler.obs = telemetry
+    return scheduler
+
+
+@pytest.fixture
+def thread(loader, csr, scheduler):
+    thread = loader.add_thread("t0", stack_size=1024, priority=1)
+    scheduler.add_thread(thread)
+    scheduler.switch_to(thread)
+    return thread
+
+
+@pytest.fixture
+def recoverable(loader, roots):
+    """"client" calling "flaky", whose export faults on demand."""
+    client = loader.add_compartment("client")
+    flaky = loader.add_compartment("flaky")
+    flaky.state["fail_times"] = 0
+    flaky.state["calls"] = 0
+
+    def entry(ctx, value):
+        ctx.use_stack(64)
+        flaky.state["calls"] += 1
+        if flaky.state["calls"] <= flaky.state["fail_times"]:
+            bad = roots.memory.set_address(0x2004_8000).set_bounds(8)
+            bad.check_access(bad.top + 8, 4, (Permission.LD,))
+        return value * 2
+
+    flaky.export("entry", entry)
+    loader.link("client", "flaky", "entry")
+    return client, flaky

@@ -1,0 +1,57 @@
+"""Perfetto ``trace_event`` export schema tests."""
+
+import json
+
+from repro.obs import Span, export_trace, spans_to_trace_events, write_trace
+
+SPANS = [
+    Span("late", "test", begin=500, end=900, track="rtos"),
+    Span("early", "test", begin=100, end=300, track="rtos", args={"n": 1}),
+    Span("tick", "test", begin=200, track="revoker"),  # instant
+]
+
+
+class TestTraceEvents:
+    def test_complete_and_instant_phases(self):
+        events = spans_to_trace_events(SPANS)
+        by_name = {e["name"]: e for e in events if e.get("ph") != "M"}
+        assert by_name["early"]["ph"] == "X"
+        assert by_name["early"]["dur"] == 2.0  # 200 cycles at 100 MHz
+        assert by_name["early"]["args"] == {"n": 1}
+        assert by_name["tick"]["ph"] == "i"
+        assert by_name["tick"]["s"] == "t"
+        assert "dur" not in by_name["tick"]
+
+    def test_timestamps_scale_with_frequency_and_are_monotonic(self):
+        events = spans_to_trace_events(SPANS, frequency_mhz=200.0)
+        data = [e for e in events if e.get("ph") != "M"]
+        assert [e["name"] for e in data] == ["early", "tick", "late"]
+        ts = [e["ts"] for e in data]
+        assert ts == sorted(ts)
+        assert ts[0] == 0.5  # 100 cycles at 200 MHz
+
+    def test_track_metadata_and_tids(self):
+        events = spans_to_trace_events(SPANS)
+        meta = [e for e in events if e.get("ph") == "M"]
+        assert meta[0]["args"]["name"] == "cheriot-sim"
+        threads = {e["tid"]: e["args"]["name"] for e in meta[1:]}
+        data = [e for e in events if e.get("ph") != "M"]
+        for event in data:
+            assert threads[event["tid"]] in ("rtos", "revoker")
+        # Same track, same tid.
+        rtos_tids = {e["tid"] for e in data if threads[e["tid"]] == "rtos"}
+        assert len(rtos_tids) == 1
+
+    def test_document_shape(self):
+        doc = export_trace(SPANS, metadata={"core": "ibex"})
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["otherData"] == {"core": "ibex"}
+        assert len(doc["traceEvents"]) == len(SPANS) + 3  # + process, 2 tracks
+
+    def test_write_trace_round_trips_as_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        count = write_trace(str(path), SPANS, metadata={"k": "v"})
+        doc = json.loads(path.read_text())
+        assert count == len(doc["traceEvents"]) == len(SPANS) + 3
+        ts = [e["ts"] for e in doc["traceEvents"] if e.get("ph") != "M"]
+        assert ts == sorted(ts)

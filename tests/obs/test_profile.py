@@ -1,0 +1,100 @@
+"""Cycle attribution and the retire-hook PC profiler."""
+
+from repro.isa import CPU, ExecutionMode, assemble
+from repro.memory import SystemBus, TaggedMemory
+from repro.obs import CycleAttributor, PCProfiler, render_attribution, render_hot_pcs
+from repro.pipeline import CoreKind, make_core_model
+
+CODE_BASE = 0x2000_0000
+
+
+class FakeCore:
+    def __init__(self):
+        self.cycles = 0
+
+
+class TestCycleAttributor:
+    def test_every_cycle_lands_in_exactly_one_bucket(self):
+        core = FakeCore()
+        attr = CycleAttributor(core)
+        core.cycles = 10  # app
+        attr.push("switcher")
+        core.cycles = 25  # switcher
+        attr.push("callee")
+        core.cycles = 100  # callee
+        attr.pop()
+        core.cycles = 110  # switcher (return path)
+        attr.pop()
+        core.cycles = 140  # app again
+        totals = attr.snapshot()
+        assert totals == {"app": 40, "switcher": 25, "callee": 75}
+        assert sum(totals.values()) == core.cycles
+
+    def test_root_context_cannot_be_popped(self):
+        core = FakeCore()
+        attr = CycleAttributor(core)
+        attr.pop()
+        attr.pop()
+        assert attr.current == "app"
+        assert attr.depth == 1
+
+    def test_rebase_forgets_unsettled_cycles(self):
+        core = FakeCore()
+        attr = CycleAttributor(core)
+        core.cycles = 1000  # boot noise
+        attr.rebase()
+        core.cycles = 1010
+        assert attr.snapshot() == {"app": 10}
+
+    def test_render_reports_reconciliation(self):
+        text = render_attribution({"app": 60, "switcher": 40}, core_cycles=100)
+        assert "reconciled" in text
+        text = render_attribution({"app": 60}, core_cycles=100)
+        assert "MISMATCH" in text
+
+
+def _run_profiled(source):
+    bus = SystemBus()
+    bus.attach_sram(TaggedMemory(CODE_BASE, 0x1_0000))
+    core = make_core_model(CoreKind.IBEX)
+    cpu = CPU(bus, mode=ExecutionMode.RV32E, timing=core)
+    cpu.load_program(assemble(source), CODE_BASE)
+    profiler = PCProfiler(core).attach(cpu)
+    cpu.run()
+    return core, profiler
+
+
+class TestPCProfiler:
+    def test_cycles_partition_over_pcs(self):
+        core, profiler = _run_profiled(
+            "li a0, 50\nloop: addi a0, a0, -1\nbnez a0, loop\nhalt"
+        )
+        # Every cycle the core accrued is charged to some PC.
+        assert profiler.total_cycles == core.cycles
+        assert profiler.retired == 1 + 50 * 2  # li + 50x(addi, bnez)
+
+    def test_hot_ranks_the_loop_first(self):
+        _, profiler = _run_profiled(
+            "li a0, 50\nloop: addi a0, a0, -1\nbnez a0, loop\nhalt"
+        )
+        hot = profiler.hot(2)
+        assert hot[0][0] in (CODE_BASE + 4, CODE_BASE + 8)  # a loop PC
+        assert hot[0][2] == 50  # hits
+        assert "addi" in hot[0][3] or "bnez" in hot[0][3]
+        text = render_hot_pcs(profiler, n=3)
+        assert f"{CODE_BASE + 4:#010x}" in text
+
+    def test_detach_stops_charging(self):
+        bus = SystemBus()
+        bus.attach_sram(TaggedMemory(CODE_BASE, 0x1_0000))
+        core = make_core_model(CoreKind.IBEX)
+        cpu = CPU(bus, mode=ExecutionMode.RV32E, timing=core)
+        cpu.load_program(
+            assemble("li a0, 50\nloop: addi a0, a0, -1\nbnez a0, loop\nhalt"),
+            CODE_BASE,
+        )
+        profiler = PCProfiler(core).attach(cpu)
+        cpu.step()
+        profiler.detach(cpu)
+        cpu.run()
+        assert profiler.retired == 1

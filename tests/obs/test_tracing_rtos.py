@@ -1,0 +1,89 @@
+"""Spans across compartment switches and fault unwinds.
+
+The RTOS instrumentation rides the switcher's existing ``try/finally``
+structure, so the invariant under test is: whatever happens inside a
+call — success, contained fault, error-handler consultation — every
+span ends, and the nesting recorded in the trace matches the trusted
+stack's shape.
+"""
+
+import pytest
+
+from repro.rtos import CompartmentFault, RecoveryAction
+
+
+def spans_named(telemetry, prefix):
+    return [s for s in telemetry.tracer.events() if s.name.startswith(prefix)]
+
+
+class TestCompartmentSwitchSpans:
+    def test_call_emits_nested_xcall_and_callee_spans(
+        self, recoverable, switcher, thread, telemetry
+    ):
+        client, flaky = recoverable
+        result = switcher.call(thread, client.get_import("flaky", "entry"), 3)
+        assert result == 6
+        (xcall,) = spans_named(telemetry, "xcall flaky.entry")
+        (callee,) = spans_named(telemetry, "flaky.entry")
+        assert xcall.category == "switcher"
+        assert callee.category == "compartment"
+        # The callee span nests strictly inside the cross-call span:
+        # prologue charges before it begins, return-path charges after.
+        assert xcall.begin <= callee.begin
+        assert callee.end <= xcall.end
+        assert callee.duration < xcall.duration
+        assert telemetry.tracer.open_depth() == 0
+
+    def test_every_span_closes_across_fault_unwind(
+        self, recoverable, switcher, thread, telemetry
+    ):
+        client, flaky = recoverable
+        flaky.state["fail_times"] = 1
+        with pytest.raises(CompartmentFault):
+            switcher.call(thread, client.get_import("flaky", "entry"), 3)
+        assert telemetry.tracer.open_depth() == 0
+        (xcall,) = spans_named(telemetry, "xcall flaky.entry")
+        (callee,) = spans_named(telemetry, "flaky.entry")
+        assert xcall.end is not None and callee.end is not None
+        (unwind,) = spans_named(telemetry, "fault-unwind flaky")
+        assert unwind.category == "fault"
+        assert unwind.args["cause"] == "BoundsFault"
+
+    def test_error_handler_span_inside_unwind(
+        self, recoverable, switcher, thread, telemetry
+    ):
+        client, flaky = recoverable
+        flaky.state["fail_times"] = 1
+        flaky.set_error_handler(lambda info: RecoveryAction.RETRY)
+        assert switcher.call(thread, client.get_import("flaky", "entry"), 3) == 6
+        (handler,) = spans_named(telemetry, "error-handler flaky")
+        assert handler.category == "fault"
+        assert handler.end is not None
+        # The retry re-enters the export: two xcall spans for one call().
+        assert len(spans_named(telemetry, "xcall flaky.entry")) == 2
+
+    def test_attributor_books_switch_overhead_separately(
+        self, recoverable, switcher, thread, telemetry
+    ):
+        client, flaky = recoverable
+        switcher.call(thread, client.get_import("flaky", "entry"), 3)
+        totals = telemetry.attributor.snapshot()
+        assert totals["switcher"] > 0
+        assert totals["flaky"] > 0
+        # Every cycle is attributed somewhere.
+        assert sum(totals.values()) == telemetry.core_model.cycles
+
+    def test_scheduler_emits_context_switch_instant(
+        self, loader, scheduler, csr, telemetry
+    ):
+        t0 = loader.add_thread("t0", stack_size=1024, priority=1)
+        t1 = loader.add_thread("t1", stack_size=1024, priority=1)
+        scheduler.add_thread(t0)
+        scheduler.add_thread(t1)
+        scheduler.switch_to(t0)
+        scheduler.switch_to(t1)
+        switches = spans_named(telemetry, "context-switch")
+        assert len(switches) == 2
+        assert switches[-1].name == "context-switch -> t1"
+        assert switches[-1].category == "sched"
+        assert switches[-1].is_instant
