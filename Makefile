@@ -7,13 +7,20 @@ CAMPAIGN ?= short
 ## Output path for `make trace` (open it at https://ui.perfetto.dev).
 TRACE ?= trace.json
 
-.PHONY: test bench bench-speed bench-check faults faults-check profile trace
+## Worker processes for `make bench` (one benchmark module per worker).
+PARALLEL ?= 1
+
+.PHONY: test ci bench bench-speed bench-check faults faults-check profile trace
 
 test: faults-check bench-check
 	$(PYTHON) -m pytest -x -q
 
+## What CI runs: the regression gates plus the full test suite.
+ci: test
+
+## Regenerate bench_output_tables.txt (byte-identical for any PARALLEL).
 bench:
-	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+	$(PYTHON) tools/run_benchmarks.py --jobs $(PARALLEL)
 
 ## Measure simulator speed and refresh the committed baseline.
 bench-speed:

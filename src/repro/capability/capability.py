@@ -78,6 +78,12 @@ class Capability:
     _dec: Optional[Tuple[int, int]] = field(
         default=None, init=False, repr=False, compare=False
     )
+    #: Lazily-computed permission bitmask cache (same reasoning: the
+    #: perms frozenset is immutable, so hashing it into the shared
+    #: ``_perm_mask`` LRU on every ``allows()`` is pure overhead).
+    _pbits: Optional[int] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not 0 <= self.address <= _ADDR_MASK:
@@ -93,15 +99,18 @@ class Capability:
 
     @staticmethod
     def null(address: int = 0) -> "Capability":
-        """The NULL capability: untagged, no permissions, zero bounds."""
-        if address == 0:
-            return _NULL_CAP
-        return Capability(
-            address=address & _ADDR_MASK,
-            bounds=_NULL_BOUNDS,
-            perms=NO_PERMS,
-            tag=False,
-        )
+        """The NULL capability: untagged, no permissions, zero bounds.
+
+        This sits on the simulator's hottest path — every integer
+        register write materializes one — so small addresses come from a
+        prebuilt table of shared instances (safe: capabilities are
+        immutable and compared by value) and the rest skip
+        ``__post_init__``, whose checks are vacuous for NULL-derived
+        values (masked address, unsealed otype, empty permission set).
+        """
+        if 0 <= address < _SMALL_NULL_COUNT:
+            return _SMALL_NULLS[address]
+        return _make_null(address & _ADDR_MASK)
 
     @staticmethod
     def from_bounds(
@@ -162,7 +171,11 @@ class Capability:
     @property
     def perm_bits(self) -> int:
         """Permission set as a combined ``Permission.value`` bitmask."""
-        return _perm_mask(self.perms)
+        pbits = self._pbits
+        if pbits is None:
+            pbits = _perm_mask(self.perms)
+            object.__setattr__(self, "_pbits", pbits)
+        return pbits
 
     @property
     def length(self) -> int:
@@ -345,7 +358,11 @@ class Capability:
         """
         if not self.tag or self.otype != otypes_mod.OTYPE_UNSEALED:
             return False
-        if need_bits & ~_perm_mask(self.perms):
+        pbits = self._pbits
+        if pbits is None:
+            pbits = _perm_mask(self.perms)
+            object.__setattr__(self, "_pbits", pbits)
+        if need_bits & ~pbits:
             return False
         dec = self._dec
         if dec is None:
@@ -402,6 +419,32 @@ class Capability:
 #: integer register write.
 _NULL_BOUNDS = EncodedBounds(0, 0, 0)
 _NULL_CAP = Capability(address=0, bounds=_NULL_BOUNDS, perms=NO_PERMS, tag=False)
+
+
+def _make_null(address: int) -> Capability:
+    """Build a NULL-derived capability without ``__post_init__``.
+
+    The skipped checks are vacuous here by construction: the caller
+    masks the address, the otype is unsealed, and ``NO_PERMS`` is its
+    own normalization.
+    """
+    cap = object.__new__(Capability)
+    _set = object.__setattr__
+    _set(cap, "address", address)
+    _set(cap, "bounds", _NULL_BOUNDS)
+    _set(cap, "perms", NO_PERMS)
+    _set(cap, "otype", otypes_mod.OTYPE_UNSEALED)
+    _set(cap, "tag", False)
+    _set(cap, "reserved", False)
+    _set(cap, "_dec", None)
+    _set(cap, "_pbits", None)
+    return cap
+
+
+#: Interning table for small NULL-derived integers (loop counters,
+#: flags, comparison constants dominate integer register traffic).
+_SMALL_NULL_COUNT = 2048
+_SMALL_NULLS = tuple(_make_null(a) for a in range(_SMALL_NULL_COUNT))
 
 
 def _check_seal_authority(authority: Capability, needed: Permission) -> None:

@@ -41,6 +41,7 @@ from repro.capability.otypes import (
 )
 from repro.memory.bus import SystemBus
 from .assembler import Program
+from .blockcache import BlockCacheStats, translate_block
 from .csr import CSRFile
 from .exceptions import Trap, TrapCause, trap_from_capability_fault
 from .instructions import Instruction
@@ -64,6 +65,11 @@ class ExecutionMode(enum.Enum):
 
     RV32E = "rv32e"
     CHERIOT = "cheriot"
+
+
+#: Hot-path alias: dereferencing the enum member once per module load
+#: beats the two-attribute chain in the per-access authorization check.
+_CHERIOT = ExecutionMode.CHERIOT
 
 
 class Halted(Exception):
@@ -111,6 +117,7 @@ class CPU:
         hwm_enabled: bool = True,
         cfi_strict: bool = False,
         predecode: bool = True,
+        block_cache: bool = True,
     ) -> None:
         self.bus = bus
         self.mode = mode
@@ -124,6 +131,21 @@ class CPU:
         #: reference semantics the differential tests compare against.
         self._predecode = predecode
         self._decoded: Optional[List[tuple]] = None
+        #: Superblock translation cache (:mod:`repro.isa.blockcache`):
+        #: with ``block_cache`` (the default, pre-decode only) the run
+        #: loop fuses straight-line runs into single-dispatch blocks.
+        #: The fused path is refused per step while any observer is
+        #: attached (``pre_step_hook``, retire hooks, a polled timer),
+        #: so telemetry and fault injection always see the ordinary
+        #: per-instruction stream.
+        self._block_cache_enabled = block_cache and predecode
+        self._blocks: dict = {}
+        self.block_stats = BlockCacheStats()
+        self._code_watch = None
+        #: The timing object last verified to support batch charging
+        #: (the legacy trace-in-the-timing-slot idiom supplies only
+        #: ``retire()``); the run loop deoptimizes for anything else.
+        self._batchable_timing = None
         #: Cached executable window of the current PCC: instruction fetch
         #: is a two-comparison check while the PC stays inside
         #: ``[_fetch_lo, _fetch_hi]``; any PCC replacement recomputes it
@@ -234,6 +256,16 @@ class CPU:
                 raise ValueError("CHERIoT mode requires a PCC")
             self.pcc = pcc.set_address(self.pc)
         self._decoded = _decode_program(program) if self._predecode else None
+        self._blocks.clear()
+        if self._block_cache_enabled and self._decoded:
+            lo, hi = code_base, code_base + 4 * len(program.instructions)
+            if self._code_watch is None:
+                self._code_watch = self.bus.watch_dirty(
+                    lo, hi, self._on_code_dirty
+                )
+            else:
+                self._code_watch.lo = lo
+                self._code_watch.hi = hi
         self._halted = False
 
     @property
@@ -241,15 +273,40 @@ class CPU:
         return self._halted
 
     def run(self, max_steps: int = 10_000_000) -> ExecStats:
-        """Execute until ``halt`` or the step budget is exhausted."""
-        for _ in range(max_steps):
-            if self.timer is not None:
-                self.timer.tick(self)
+        """Execute until ``halt`` or the step budget is exhausted.
+
+        With the superblock cache enabled and no observer attached
+        (``pre_step_hook``, retire hooks, polled timer), straight-line
+        runs execute as fused blocks — one dispatch, batch-charged
+        stats and cycles, architecturally identical to single-stepping.
+        The eligibility check re-runs every iteration so a hook
+        installed mid-run (say, by an ``ecall`` handler) deoptimizes
+        from the very next step.
+        """
+        remaining = max_steps
+        while remaining > 0:
             try:
-                if self._decoded is not None:
-                    self._step_fast()
+                if (
+                    self._block_cache_enabled
+                    and self._decoded is not None
+                    and self.timer is None
+                    and self.pre_step_hook is None
+                    and self._retire_hooks is None
+                    and (
+                        self.timing is None
+                        or self.timing is self._batchable_timing
+                        or self._check_batchable_timing()
+                    )
+                ):
+                    remaining -= self._block_step(remaining)
                 else:
-                    self._step_interp()
+                    if self.timer is not None:
+                        self.timer.tick(self)
+                    if self._decoded is not None:
+                        self._step_fast()
+                    else:
+                        self._step_interp()
+                    remaining -= 1
             except Halted:
                 self._halted = True
                 return self.stats
@@ -348,6 +405,222 @@ class CPU:
             self._pcc.check_access(pc, 4, (Permission.EX,))
         except CapabilityError as fault:
             raise trap_from_capability_fault(fault, pc) from fault
+
+    # ------------------------------------------------------------------
+    # Superblock execution
+    # ------------------------------------------------------------------
+
+    def _check_batchable_timing(self) -> bool:
+        """True when ``self.timing`` supports block batch charging.
+
+        Cached by identity so the run loop's eligibility check is one
+        ``is`` comparison; anything without the :class:`CoreModel`
+        batch interface (e.g. a legacy trace riding the timing slot)
+        deoptimizes to per-instruction stepping.
+        """
+        timing = self.timing
+        if hasattr(timing, "precompute_block") and hasattr(timing, "charge_block"):
+            self._batchable_timing = timing
+            return True
+        return False
+
+    def _block_step(self, remaining: int) -> int:
+        """One run-loop entry into the translation cache.
+
+        Executes fused blocks *chained* back-to-back — a taken branch
+        whose target starts another cached block dispatches it directly,
+        without returning to the run loop — and returns the total
+        step-budget units consumed, exactly what the same instructions
+        would have cost single-stepped (one per retired instruction,
+        one for a trap that vectors).  The chain returns to the run loop
+        (where the full eligibility check lives) whenever anything that
+        could change eligibility might have run: an ``ecall`` terminator
+        (its host handler can install hooks or reload the program), any
+        single-step fallback, or a trap delivery.  Falls back to
+        :meth:`_step_fast` for one instruction whenever the fused path
+        cannot be used (non-fusable start, PCC window miss, or a budget
+        too small for the whole block).
+
+        While a block runs, ``stats.cycles`` is streamed forward ahead
+        of every memory operation (the translation-time pre-flush in
+        each entry) so host code reachable from inside the block — MMIO
+        device reads like the CLINT's ``mtime``, store snoopers — sees
+        the exact cycle count single-stepping would have shown it; the
+        final ``charge_block`` adds only the unstreamed remainder.
+        """
+        consumed = 0
+        blocks = self._blocks
+        decoded = self._decoded
+        code_base = self.code_base
+        cheriot = self.mode is ExecutionMode.CHERIOT
+        timing = self.timing
+        tstats = timing.stats if timing is not None else None
+        stats = self.stats
+        block_stats = self.block_stats
+        while True:
+            if (
+                self.interrupt_pending is not None
+                and self.csr.interrupts_enabled
+                and self._trap_vector_installed()
+            ):
+                cause = self.interrupt_pending
+                self.interrupt_pending = None
+                self._vector(Trap(cause, self.pc))
+                return consumed + 1
+            pc = self.pc
+            index = (pc - code_base) >> 2
+            if pc & 3 or not 0 <= index < len(decoded):
+                # Out-of-program fetch: the single-step path raises (or
+                # vectors) the architectural trap.
+                self._step_fast()
+                return consumed + 1
+            block = blocks.get(index, _UNSET)
+            if block is _UNSET or (
+                block is not None and block.timing is not timing
+            ):
+                block = translate_block(self, index)
+                blocks[index] = block
+                if block is not None:
+                    block_stats.translations += 1
+            if (
+                block is None
+                or block.steps > remaining - consumed
+                or (
+                    cheriot
+                    and not (
+                        self._fetch_lo <= pc and block.last_pc <= self._fetch_hi
+                    )
+                )
+            ):
+                block_stats.single_steps += 1
+                self._step_fast()
+                return consumed + 1
+            block_stats.executions += 1
+            n = block.length
+            flushed = 0
+            try:
+                for handler, operands, ipc, info, pre in block.entries:
+                    self.pc = ipc
+                    if pre:
+                        tstats.cycles += pre
+                        flushed += pre
+                    handler(self, operands, 0, info)
+            except (Trap, CapabilityError, PMPViolation) as fault:
+                if flushed:
+                    tstats.cycles -= flushed
+                return consumed + self._block_fault(
+                    block, (self.pc - pc) >> 2, fault
+                )
+            except BaseException:
+                # Non-architectural failure (bus MemoryError_, bugs):
+                # commit the retired prefix so diagnostics match
+                # single-stepping, then let it propagate.
+                if flushed:
+                    tstats.cycles -= flushed
+                self._commit_block_prefix(block, (self.pc - pc) >> 2)
+                raise
+            # Straight-line run retired: batch-charge counts and cycles.
+            stats.instructions += n
+            block_stats.instructions += n
+            if timing is not None:
+                timing.charge_block(block.charge, flushed)
+            term = block.term
+            if term is None:
+                self.pc = pc + 4 * n
+                consumed += n
+                if consumed >= remaining:
+                    return consumed
+                continue
+            t_handler, t_operands, t_instr, t_info, t_pc = term
+            self.pc = t_pc
+            t_info.branch_taken = False
+            next_pc = t_pc + 4
+            try:
+                try:
+                    next_pc = t_handler(self, t_operands, next_pc, t_info)
+                except CapabilityError as fault:
+                    stats.traps += 1
+                    raise trap_from_capability_fault(fault, t_pc) from fault
+                except PMPViolation as fault:
+                    stats.traps += 1
+                    raise Trap(TrapCause.PMP_FAULT, t_pc, str(fault)) from fault
+            except Trap as trap:
+                if self._trap_vector_installed():
+                    self._vector(trap)
+                    return consumed + block.steps
+                raise
+            stats.instructions += 1
+            block_stats.instructions += 1
+            if timing is not None:
+                timing.retire(t_instr, t_info)
+            self.pc = next_pc
+            consumed += block.steps
+            if block.term_bails or consumed >= remaining:
+                return consumed
+
+    def _block_fault(self, block, k: int, fault) -> int:
+        """A fused instruction faulted after ``k`` retired cleanly.
+
+        Replays the retired prefix through the ordinary accounting path
+        (``cpu.pc`` already points at the faulting instruction — the
+        fused loop keeps it current), then converts and delivers the
+        fault exactly as :meth:`_step_fast` would have.
+        """
+        self._commit_block_prefix(block, k)
+        pc = self.pc
+        if isinstance(fault, Trap):
+            trap = fault
+        elif isinstance(fault, PMPViolation):
+            self.stats.traps += 1
+            trap = Trap(TrapCause.PMP_FAULT, pc, str(fault))
+            trap.__cause__ = fault
+        else:
+            self.stats.traps += 1
+            trap = trap_from_capability_fault(fault, pc)
+            trap.__cause__ = fault
+        if self._trap_vector_installed():
+            self._vector(trap)
+            return k + 1
+        raise trap
+
+    def _commit_block_prefix(self, block, k: int) -> None:
+        """Charge the first ``k`` fused instructions individually.
+
+        Uses the block's static retire stream through the ordinary
+        ``retire()`` path, so a partially executed block accounts
+        bit-identically to ``k`` single steps.
+        """
+        if k <= 0:
+            return
+        self.stats.instructions += k
+        self.block_stats.instructions += k
+        if self.timing is not None:
+            retire = self.timing.retire
+            for instr, info in block.pairs[:k]:
+                retire(instr, info)
+
+    def _on_code_dirty(self, address: int, size: int) -> None:
+        """Dirty-range hook: a store landed inside the code region.
+
+        Drops every cached block overlapping the written range so the
+        next execution re-translates — the cache-coherency protocol a
+        hardware translation cache needs for self-modifying code, even
+        though programs here are structural and the re-translation
+        reproduces the same block.
+        """
+        if not self._blocks:
+            return
+        base = self.code_base
+        lo = (address - base) >> 2
+        hi = (address + size - 1 - base) >> 2
+        dead = [
+            i
+            for i, b in self._blocks.items()
+            if b is not None and b.start_index <= hi and lo <= b.end_index
+        ]
+        for i in dead:
+            del self._blocks[i]
+        self.block_stats.invalidations += len(dead)
 
     def _step_interp(self) -> None:
         """The seed's interpretive step: string-keyed dispatch and a full
@@ -449,12 +722,12 @@ class CPU:
         offset, reg = operand
         authority = self.regs.read(reg)
         address = (authority.address + offset) & _WORD
-        if self.mode is ExecutionMode.CHERIOT:
+        if self.mode is _CHERIOT:
             if not authority.allows(address, size, _KIND_BITS[kind]):
                 authority.check_access(address, size, _KIND_PERMS[kind])
         elif self.pmp is not None:
             self.pmp.check(address, size, "r" if kind in ("r", "cr") else "w")
-        if address % size:
+        if address & (size - 1):  # sizes are powers of two
             raise Trap(TrapCause.MISALIGNED, self.pc, f"{address:#x} % {size}")
         return address, authority
 

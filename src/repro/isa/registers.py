@@ -19,6 +19,11 @@ from repro.capability import Capability
 #: Number of general-purpose registers in RV32E.
 NUM_REGS = 16
 
+#: Hot-path aliases: the NULL capability read from ``c0`` and the
+#: NULL-derived constructor every integer write goes through.
+_NULL = Capability.null()
+_null = Capability.null
+
 #: ABI register names, indexed by register number.
 ABI_NAMES = (
     "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
@@ -66,7 +71,7 @@ class RegisterFile:
         if not 0 <= index < NUM_REGS:
             raise ValueError(f"register index out of range: {index}")
         if index == 0:
-            return Capability.null()
+            return _NULL
         return self._regs[index]
 
     def write(self, index: int, value: Capability) -> None:
@@ -78,11 +83,18 @@ class RegisterFile:
 
     def read_int(self, index: int) -> int:
         """Read a register as a 32-bit unsigned integer (its address)."""
-        return self.read(index).address
+        # Inlined read(): this and write_int dominate the simulator's
+        # per-instruction work, so they skip the extra call frame.
+        if not 0 <= index < NUM_REGS:
+            raise ValueError(f"register index out of range: {index}")
+        return self._regs[index].address if index else 0
 
     def write_int(self, index: int, value: int) -> None:
         """Write an integer: an untagged NULL-derived capability."""
-        self.write(index, Capability.null(value & 0xFFFFFFFF))
+        if not 0 <= index < NUM_REGS:
+            raise ValueError(f"register index out of range: {index}")
+        if index:
+            self._regs[index] = _null(value & 0xFFFFFFFF)
 
     def read_scr(self, name: str) -> Capability:
         return self._scrs[name]

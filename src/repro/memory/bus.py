@@ -48,6 +48,22 @@ class BusStats:
             setattr(self, f.name, 0)
 
 
+class DirtyWatch:
+    """One registered dirty-range subscription (see ``watch_dirty``).
+
+    ``lo``/``hi`` are mutable so a long-lived watcher (the executor's
+    translation cache) can re-aim its range when a new program is
+    loaded instead of piling up stale registrations.
+    """
+
+    __slots__ = ("lo", "hi", "callback")
+
+    def __init__(self, lo: int, hi: int, callback: Callable[[int, int], None]):
+        self.lo = lo
+        self.hi = hi
+        self.callback = callback
+
+
 class SystemBus:
     """Routes accesses to SRAM banks and MMIO devices; snoops stores."""
 
@@ -55,6 +71,11 @@ class SystemBus:
         self._banks: List[TaggedMemory] = []
         self._devices: List[Tuple[int, int, MMIODevice]] = []
         self._store_snoopers: List[Callable[[int, int], None]] = []
+        self._dirty_watches: List[DirtyWatch] = []
+        #: Most-recently-hit bank: accesses cluster heavily (code in one
+        #: bank, a working set in another), so one contains() check
+        #: usually replaces the decode scan.
+        self._last_bank: Optional[TaggedMemory] = None
         self.stats = BusStats()
 
     # ------------------------------------------------------------------
@@ -64,6 +85,8 @@ class SystemBus:
     def attach_sram(self, bank: TaggedMemory) -> TaggedMemory:
         self._check_overlap(bank.base, bank.size)
         self._banks.append(bank)
+        if self._dirty_watches:
+            bank.add_dirty_hook(self._dispatch_dirty)
         return bank
 
     def attach_device(self, base: int, size: int, device: MMIODevice) -> None:
@@ -79,8 +102,12 @@ class SystemBus:
                 raise ValueError(f"region [{base:#x},+{size:#x}) overlaps device")
 
     def bank_for(self, address: int, size: int = 1) -> TaggedMemory:
+        bank = self._last_bank
+        if bank is not None and bank.contains(address, size):
+            return bank
         for bank in self._banks:
             if bank.contains(address, size):
+                self._last_bank = bank
                 return bank
         raise MemoryError_(f"no SRAM at [{address:#x}, +{size})")
 
@@ -98,26 +125,56 @@ class SystemBus:
         for snooper in self._store_snoopers:
             snooper(address, size)
 
+    def watch_dirty(
+        self, lo: int, hi: int, callback: Callable[[int, int], None]
+    ) -> DirtyWatch:
+        """Observe mutations overlapping ``[lo, hi)`` on any bank.
+
+        Unlike store snoopers (which see only *bus* stores, the
+        semantics the background revoker needs), dirty watches ride the
+        banks' dirty-range hooks, so direct bank writes — the loader
+        placing an image, tests poking memory — are seen too.  The
+        executor's superblock cache uses this to invalidate translated
+        blocks when anything writes into their code range.  Returns the
+        (range-mutable) :class:`DirtyWatch` registration.
+        """
+        if not self._dirty_watches:
+            # First watch: wire the dispatch hook into existing banks
+            # (later banks are wired by attach_sram); until then, banks
+            # pay nothing on the write path.
+            for bank in self._banks:
+                bank.add_dirty_hook(self._dispatch_dirty)
+        watch = DirtyWatch(lo, hi, callback)
+        self._dirty_watches.append(watch)
+        return watch
+
+    def _dispatch_dirty(self, address: int, size: int) -> None:
+        for watch in self._dirty_watches:
+            if address < watch.hi and address + size > watch.lo:
+                watch.callback(address, size)
+
     # ------------------------------------------------------------------
     # Data access
     # ------------------------------------------------------------------
 
     def read_word(self, address: int, size: int = 4) -> int:
-        hit = self._device_for(address)
-        if hit is not None:
-            base, device = hit
-            self.stats.mmio_reads += 1
-            return device.mmio_read(address - base)
+        if self._devices:
+            hit = self._device_for(address)
+            if hit is not None:
+                base, device = hit
+                self.stats.mmio_reads += 1
+                return device.mmio_read(address - base)
         self.stats.data_reads += 1
         return self.bank_for(address, size).read_word(address, size)
 
     def write_word(self, address: int, value: int, size: int = 4) -> None:
-        hit = self._device_for(address)
-        if hit is not None:
-            base, device = hit
-            self.stats.mmio_writes += 1
-            device.mmio_write(address - base, value)
-            return
+        if self._devices:
+            hit = self._device_for(address)
+            if hit is not None:
+                base, device = hit
+                self.stats.mmio_writes += 1
+                device.mmio_write(address - base, value)
+                return
         self.stats.data_writes += 1
         self.bank_for(address, size).write_word(address, value, size)
         self._snoop_store(address, size)

@@ -35,6 +35,16 @@ class TaggedMemory:
         self.size = size
         self._data = bytearray(size)
         self._tags = bytearray(size // CAP_SIZE_BYTES)
+        #: Dirty-range hooks, ``hook(address, size)``, fired on every
+        #: mutation (data write, capability write, tag clear).  Stored
+        #: as tuple-or-None so the hot write paths pay exactly one
+        #: ``is None`` comparison when nothing is watching — the bus
+        #: wires these up for the executor's translation cache.
+        self._dirty_hooks: Optional[tuple] = None
+
+    def add_dirty_hook(self, hook) -> None:
+        """Observe every mutation of this bank as ``hook(address, size)``."""
+        self._dirty_hooks = (self._dirty_hooks or ()) + (hook,)
 
     # ------------------------------------------------------------------
     # Address helpers
@@ -65,18 +75,29 @@ class TaggedMemory:
 
     def write_bytes(self, address: int, data: bytes) -> None:
         """Data write: clears the tag of every granule touched."""
-        off = self._offset(address, len(data))
-        self._data[off : off + len(data)] = data
-        first = self._granule(off)
-        last = self._granule(off + len(data) - 1) if data else first
-        for g in range(first, last + 1):
-            self._tags[g] = 0
+        size = len(data)
+        off = self._offset(address, size)
+        self._data[off : off + size] = data
+        first = off // CAP_SIZE_BYTES
+        last = (off + size - 1) // CAP_SIZE_BYTES if data else first
+        if first == last:
+            # Common case: a word-or-smaller store inside one granule.
+            self._tags[first] = 0
+        else:
+            for g in range(first, last + 1):
+                self._tags[g] = 0
+        if self._dirty_hooks is not None:
+            for hook in self._dirty_hooks:
+                hook(address, size)
 
     def read_word(self, address: int, size: int = 4) -> int:
         """Little-endian unsigned read of 1, 2 or 4 bytes."""
         if address % size != 0:
             raise MemoryError_(f"misaligned {size}-byte read at {address:#x}")
-        return int.from_bytes(self.read_bytes(address, size), "little")
+        # Inlined read_bytes: skips a call frame and the bytes() copy
+        # (int.from_bytes takes the bytearray slice directly).
+        off = self._offset(address, size)
+        return int.from_bytes(self._data[off : off + size], "little")
 
     def write_word(self, address: int, value: int, size: int = 4) -> None:
         """Little-endian unsigned write of 1, 2 or 4 bytes."""
@@ -114,6 +135,9 @@ class TaggedMemory:
             CAP_SIZE_BYTES, "little"
         )
         self._tags[self._granule(off)] = 1 if cap.tag else 0
+        if self._dirty_hooks is not None:
+            for hook in self._dirty_hooks:
+                hook(address, CAP_SIZE_BYTES)
 
     def tag_at(self, address: int) -> bool:
         """Inspect the tag of the granule containing ``address``."""
@@ -124,6 +148,9 @@ class TaggedMemory:
         """Clear one granule's tag (the revoker's invalidation write)."""
         off = self._offset(address, 1)
         self._tags[self._granule(off)] = 0
+        if self._dirty_hooks is not None:
+            for hook in self._dirty_hooks:
+                hook(address, 1)
 
     def tagged_granules(self, start: Optional[int] = None, end: Optional[int] = None):
         """Yield addresses of tagged granules in ``[start, end)``.

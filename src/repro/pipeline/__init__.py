@@ -3,6 +3,7 @@
 import enum
 
 from .model import (
+    BlockCharge,
     CoreModel,
     CoreTimingParams,
     TimingStats,
@@ -25,6 +26,7 @@ def make_core_model(kind: CoreKind, load_filter_enabled: bool = False) -> CoreMo
 
 
 __all__ = [
+    "BlockCharge",
     "CoreKind",
     "CoreModel",
     "CoreTimingParams",

@@ -207,6 +207,93 @@ class CoreModel:
             )
 
     # ------------------------------------------------------------------
+    # Superblock batch accounting (used by the executor's block cache)
+    # ------------------------------------------------------------------
+
+    def precompute_block(self, pairs) -> "BlockCharge":
+        """Pre-classify a straight-line block into one :class:`BlockCharge`.
+
+        ``pairs`` is the block's ``(instr, info)`` retire stream with
+        *static* info (no branches inside a block, load destinations
+        known at decode time).  The aggregate is computed by replaying
+        the stream through :meth:`retire` on a scratch model, so it is
+        bit-identical to single-stepping by construction rather than by
+        a parallel re-implementation of the cost rules.
+
+        Two things cannot be pre-resolved and stay symbolic:
+
+        * the *entry* load-to-use hazard — a load retired immediately
+          before the block may stall the block's first instruction by a
+          runtime-dependent amount; and
+        * the *exit* pending-load state — a trailing load arms the
+          hazard window for whatever retires after the block.
+
+        Both only ever involve the block's first/last instruction
+        because :meth:`retire` closes the hazard window after exactly
+        one consumer; the interior chain is fully static (shifting the
+        whole block by the entry stall shifts every interior
+        ``ready_at`` and ``cycles`` identically, so interior stalls are
+        invariant).
+        """
+        scratch = CoreModel(self.params, self.load_filter_enabled)
+        prefix = []
+        for instr, info in pairs:
+            scratch.retire(instr, info)
+            prefix.append(scratch.stats.cycles)
+        first_instr, first_info = pairs[0]
+        first_cls = first_instr.timing_class
+        # retire() folds a stall into the cycle count only for
+        # single-cycle consumers — and for unknown classes, whose
+        # fall-through cost is ``1 + stall``.
+        entry_absorbs = first_cls not in self._base_cost or first_cls in (ALU, CAP)
+        return BlockCharge(
+            cycles=scratch.stats.cycles,
+            stall_cycles=scratch.stats.stall_cycles,
+            bus_beats=scratch.stats.bus_beats,
+            entry_sources=first_info.source_regs,
+            entry_absorbs_stall=entry_absorbs,
+            exit_pending_reg=scratch._pending_load_reg,
+            exit_ready_offset=scratch._pending_ready_at - scratch.stats.cycles,
+            prefix_cycles=tuple(prefix),
+        )
+
+    def charge_block(self, bc: "BlockCharge", already_charged: int = 0) -> None:
+        """Charge one pre-classified straight-line block in one call.
+
+        Equivalent to calling :meth:`retire` for every instruction of
+        the block: the entry hazard is resolved against the live
+        pending-load state, the pre-summed interior costs land in one
+        addition each, and the exit pending-load state is re-armed.
+
+        ``already_charged`` is the portion of ``bc.cycles`` the executor
+        streamed into ``stats.cycles`` ahead of the block's memory
+        operations (so MMIO devices and store snoopers invoked from
+        inside the block observe the same cycle count single-stepping
+        would have shown them); only the remainder is added here.
+        """
+        stats = self.stats
+        entry_stall = 0
+        if self._pending_load_reg is not None:
+            if self._pending_load_reg in bc.entry_sources:
+                entry_stall = self._pending_ready_at - (
+                    stats.cycles - already_charged
+                )
+                if entry_stall < 0:
+                    entry_stall = 0
+                stats.stall_cycles += entry_stall
+            self._pending_load_reg = None
+        stats.stall_cycles += bc.stall_cycles
+        stats.bus_beats += bc.bus_beats
+        stats.cycles += (
+            bc.cycles
+            - already_charged
+            + (entry_stall if bc.entry_absorbs_stall else 0)
+        )
+        if bc.exit_pending_reg is not None:
+            self._pending_load_reg = bc.exit_pending_reg
+            self._pending_ready_at = stats.cycles + bc.exit_ready_offset
+
+    # ------------------------------------------------------------------
     # Bulk cost helpers (used by the RTOS / allocator / revokers)
     # ------------------------------------------------------------------
 
@@ -274,6 +361,32 @@ class CoreModel:
             # so the engine finds an idle beat at least every other cycle.
             beats *= 2
         return beats
+
+
+@dataclass(frozen=True, **DATACLASS_SLOTS)
+class BlockCharge:
+    """One straight-line block's pre-classified cost vector.
+
+    Produced by :meth:`CoreModel.precompute_block`, consumed by
+    :meth:`CoreModel.charge_block`.  ``cycles``/``stall_cycles``/
+    ``bus_beats`` are the block's static totals (interior hazards
+    included); the remaining fields parameterize the only two
+    runtime-dependent effects, the entry stall and the exit
+    pending-load window.
+    """
+
+    cycles: int
+    stall_cycles: int
+    bus_beats: int
+    entry_sources: tuple
+    entry_absorbs_stall: bool
+    exit_pending_reg: Optional[int]
+    exit_ready_offset: int
+    #: Cumulative cycle cost after each instruction of the block, used
+    #: by the executor to stream cycles ahead of memory operations so
+    #: MMIO reads (e.g. the CLINT's ``mtime``) and store snoopers see
+    #: exact mid-block cycle counts.
+    prefix_cycles: tuple = ()
 
 
 def flute_params() -> CoreTimingParams:

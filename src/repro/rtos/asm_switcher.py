@@ -159,6 +159,7 @@ def build_image(
     stack_size: int = 0x200,
     trusted_stack_at: int = 0x2000_9000,
     export_table_at: int = 0x2000_9800,
+    block_cache: bool = True,
 ) -> AsmSwitcherImage:
     """Assemble switcher + callee + caller into one bootable image.
 
@@ -173,7 +174,7 @@ def build_image(
 
     bus = SystemBus()
     bus.attach_sram(TaggedMemory(code_base, 0x1_0000))
-    cpu = CPU(bus, ExecutionMode.CHERIOT)
+    cpu = CPU(bus, ExecutionMode.CHERIOT, block_cache=block_cache)
     cpu.load_program(program, code_base, pcc=roots.executable, entry="_start")
 
     # The switcher's entry sentry: disable interrupts, keep SR.

@@ -398,12 +398,15 @@ def run_coremark(
     iterations: int = 2,
     fixed_compiler: bool = False,
     optimize: bool = False,
+    block_cache: bool = True,
 ) -> CoreMarkResult:
     """Run the workalike under one of Table 3's configurations.
 
     ``config`` is one of ``rv32e`` (integer pointers, no capabilities),
     ``cheriot`` (capabilities, load filter disabled), or
     ``cheriot+filter`` (capabilities with the load filter engaged).
+    ``block_cache=False`` forces pure single-stepping — the differential
+    tests use it to pin the fused executor to the reference semantics.
     """
     if config not in ("rv32e", "cheriot", "cheriot+filter"):
         raise ValueError(f"unknown config {config!r}")
@@ -433,6 +436,7 @@ def run_coremark(
         mode=ExecutionMode.CHERIOT if cheriot else ExecutionMode.RV32E,
         load_filter=load_filter,
         timing=core_model,
+        block_cache=block_cache,
     )
 
     stack_top = mm.stacks.top

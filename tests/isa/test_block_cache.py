@@ -1,0 +1,513 @@
+"""Differential tests: superblock-cached execution vs single-stepping.
+
+The superblock translation cache (:mod:`repro.isa.blockcache`) fuses
+straight-line runs of pre-decoded instructions into one dispatch and
+batch-charges their cycle costs.  Its correctness contract is strict
+*observational equivalence*: with the cache on, every architectural
+outcome — golden traces, register files, retired-instruction stats, bus
+counters, modelled cycles, trap causes and messages, even the cycle
+count an MMIO device reads mid-run — must be bit-identical to pure
+single-stepping.  These tests pin that contract across the CoreMark
+workalike (both cores, all configs), the assembly compartment switcher
+(the machinery the allocation benchmark models), a seeded
+fault-injection campaign slice, and randomized programs; plus the
+cache-management machinery itself (invalidation on code-region stores,
+deoptimization under observers, exact step budgets).
+"""
+
+from dataclasses import fields
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.capability import make_roots
+from repro.isa import CPU, ExecutionMode, Halted, Trap, assemble
+from repro.isa.timer import ClintTimer
+from repro.isa.trace import ExecutionTrace
+from repro.memory import SystemBus, TaggedMemory
+from repro.pipeline import CoreKind, make_core_model
+
+CODE_BASE = 0x2000_0000
+DATA_BASE = 0x2000_8000
+DATA_SIZE = 0x100
+
+
+def _fresh_cpu(block_cache, predecode=True):
+    bus = SystemBus()
+    bus.attach_sram(TaggedMemory(CODE_BASE, 0x1_0000))
+    roots = make_roots()
+    cpu = CPU(
+        bus, ExecutionMode.CHERIOT, predecode=predecode, block_cache=block_cache
+    )
+    cpu.timing = make_core_model(CoreKind.IBEX)
+    return cpu, roots
+
+
+def _load(cpu, roots, program):
+    cpu.load_program(program, CODE_BASE, pcc=roots.executable)
+    data = roots.memory.set_address(DATA_BASE).set_bounds(DATA_SIZE)
+    cpu.regs.write(8, data)
+
+
+def _state(cpu):
+    """Full observable state: registers, stats, bus counters, cycles."""
+    stats = tuple(getattr(cpu.stats, f.name) for f in fields(cpu.stats))
+    bus_stats = tuple(
+        getattr(cpu.bus.stats, f.name) for f in fields(cpu.bus.stats)
+    )
+    timing = cpu.timing
+    cycles = (timing.cycles, timing.stats.stall_cycles, timing.stats.bus_beats)
+    return cpu.regs.snapshot(), stats, bus_stats, cpu.pc, cycles
+
+
+def _run_both(source, max_steps=100_000):
+    """Run one program under both executors; return (states, cpus)."""
+    program = assemble(source)
+    states, cpus = [], []
+    for block_cache in (False, True):
+        cpu, roots = _fresh_cpu(block_cache)
+        _load(cpu, roots, program)
+        cpu.run(max_steps=max_steps)
+        states.append(_state(cpu))
+        cpus.append(cpu)
+    return states, cpus
+
+
+class TestStraightLineEquivalence:
+    def test_mem_loop_bit_identical(self):
+        source = """
+            li a0, 200
+            li a1, 0
+        loop:
+            sw a1, 0(s0)
+            lw a2, 0(s0)
+            add a1, a1, a2
+            addi a0, a0, -1
+            bnez a0, loop
+            halt
+        """
+        (ref, new), (_, cached) = _run_both(source)
+        assert new == ref
+        # The fused path actually ran (this is not a vacuous pass).
+        assert cached.block_stats.executions > 0
+        assert cached.block_stats.instructions > 0
+
+    def test_cap_ops_and_cap_memory_bit_identical(self):
+        source = """
+            li a0, 50
+        loop:
+            csc c8, 0(s0)
+            clc c9, 0(s0)
+            cgetlen a2, s1
+            cincaddrimm s1, s0, 8
+            csetaddr s1, s1, a2
+            addi a0, a0, -1
+            bnez a0, loop
+            halt
+        """
+        (ref, new), (_, cached) = _run_both(source)
+        assert new == ref
+        assert cached.block_stats.executions > 0
+
+    def test_load_use_hazard_window_identical(self):
+        # Back-to-back load/consume pairs at the block entry, interior,
+        # and exit: the batch charge must reproduce every stall.
+        source = """
+            li a0, 40
+        loop:
+            lw a1, 0(s0)
+            add a2, a1, a1
+            lw a3, 4(s0)
+            addi a0, a0, -1
+            bnez a0, loop
+            add a4, a3, a3
+            halt
+        """
+        (ref, new), _ = _run_both(source)
+        assert new == ref
+
+    def test_division_and_multiply_costs_identical(self):
+        source = """
+            li a0, 30
+            li a1, 7
+        loop:
+            mul a2, a0, a1
+            div a3, a2, a1
+            rem a4, a2, a1
+            addi a0, a0, -1
+            bnez a0, loop
+            halt
+        """
+        (ref, new), _ = _run_both(source)
+        assert new == ref
+
+
+class TestFaultEquivalence:
+    def test_unvectored_mid_block_fault_identical(self):
+        # The lw faults (out of s0's bounds) in the middle of a fused
+        # run; the prefix must be accounted exactly and the Trap must
+        # carry the same cause, pc and message.
+        source = """
+            li a0, 1
+            li a1, 2
+            lw a2, 0x7FC(s0)
+            li a3, 4
+            halt
+        """
+        program = assemble(source)
+        outcomes = []
+        for block_cache in (False, True):
+            cpu, roots = _fresh_cpu(block_cache)
+            _load(cpu, roots, program)
+            with pytest.raises(Trap) as excinfo:
+                cpu.run()
+            trap = excinfo.value
+            outcomes.append(
+                (trap.cause, trap.pc, str(trap), _state(cpu))
+            )
+        assert outcomes[0] == outcomes[1]
+
+    def test_vectored_mid_block_fault_identical(self):
+        source = """
+            li a0, 42
+            li a1, 1
+            lw a2, 0x7FC(s0)
+            li a0, 99
+            halt
+        handler:
+            li a3, 7
+            halt
+        """
+        program = assemble(source)
+        states = []
+        for block_cache in (False, True):
+            cpu, roots = _fresh_cpu(block_cache)
+            _load(cpu, roots, program)
+            handler_pc = CODE_BASE + 4 * program.entry("handler")
+            cpu.regs.write_scr("mtcc", roots.executable.set_address(handler_pc))
+            cpu.run()
+            states.append(_state(cpu))
+        assert states[0] == states[1]
+        regs = states[1][0]
+        assert regs[13].address == 7  # the handler ran
+        assert regs[10].address == 42  # pre-fault value preserved
+
+    def test_step_budget_boundary_identical(self):
+        source = """
+            li a0, 10
+        loop:
+            addi a0, a0, -1
+            bnez a0, loop
+            halt
+        """
+        program = assemble(source)
+        cpu, roots = _fresh_cpu(block_cache=False)
+        _load(cpu, roots, program)
+        cpu.run()
+        retired = cpu.stats.instructions
+
+        # One step short must raise the same RuntimeError (message
+        # includes pc and retired count — pinning exact accounting);
+        # exactly enough must halt with identical stats.
+        for budget, expect_halt in ((retired - 1, False), (retired, True)):
+            outcomes = []
+            for block_cache in (False, True):
+                cpu, roots = _fresh_cpu(block_cache)
+                _load(cpu, roots, program)
+                try:
+                    cpu.run(max_steps=budget)
+                    outcomes.append(("halted", _state(cpu)))
+                except RuntimeError as exc:
+                    outcomes.append(("exceeded", str(exc), _state(cpu)))
+            assert outcomes[0] == outcomes[1]
+            assert (outcomes[0][0] == "halted") is expect_halt
+
+
+class TestDeoptimization:
+    def test_retire_hooks_force_single_stepping(self):
+        # An attached trace (retire hook) must see the identical
+        # per-instruction stream — the fused path never engages.
+        source = """
+            li a0, 20
+        loop:
+            sw a0, 0(s0)
+            lw a1, 0(s0)
+            addi a0, a0, -1
+            bnez a0, loop
+            halt
+        """
+        program = assemble(source)
+        traces, states = [], []
+        for block_cache in (False, True):
+            cpu, roots = _fresh_cpu(block_cache)
+            _load(cpu, roots, program)
+            trace = ExecutionTrace(code_base=CODE_BASE).attach(cpu)
+            cpu.run()
+            traces.append(trace.entries)
+            states.append(_state(cpu))
+            assert cpu.block_stats.executions == 0
+        assert traces[0] == traces[1]
+        assert states[0] == states[1]
+
+    def test_pre_step_hook_forces_single_stepping(self):
+        source = "li a0, 5\nloop:\naddi a0, a0, -1\nbnez a0, loop\nhalt\n"
+        program = assemble(source)
+        cpu, roots = _fresh_cpu(block_cache=True)
+        _load(cpu, roots, program)
+        seen = []
+        cpu.pre_step_hook = lambda c: seen.append(c.pc)
+        cpu.run()
+        assert cpu.block_stats.executions == 0
+        # The hook saw every step, in order.
+        assert len(seen) == cpu.stats.instructions
+
+    def test_block_cache_disabled_never_fuses(self):
+        source = "li a0, 5\nloop:\naddi a0, a0, -1\nbnez a0, loop\nhalt\n"
+        program = assemble(source)
+        cpu, roots = _fresh_cpu(block_cache=False)
+        _load(cpu, roots, program)
+        cpu.run()
+        assert cpu.block_stats.executions == 0
+        assert cpu.block_stats.translations == 0
+
+
+class TestInvalidation:
+    SOURCE = """
+        li t0, 3
+    loop1:
+        addi t0, t0, -1
+        bnez t0, loop1
+        halt
+    """
+
+    def test_store_into_code_region_invalidates_and_retranslates(self):
+        program = assemble(self.SOURCE)
+        cpu, roots = _fresh_cpu(block_cache=True)
+        _load(cpu, roots, program)
+        cpu.run()
+        assert cpu.block_stats.executions > 0
+        translations_before = cpu.block_stats.translations
+        assert cpu.block_stats.invalidations == 0
+
+        # A write into the cached code range must drop the overlapping
+        # blocks...
+        cpu.bus.write_word(CODE_BASE + 4, 0x0000_0013)
+        assert cpu.block_stats.invalidations >= 1
+
+        # ...and re-execution must re-translate, not reuse stale blocks.
+        cpu.pc = CODE_BASE
+        cpu.run()
+        assert cpu.block_stats.translations > translations_before
+
+    def test_in_program_store_to_code_invalidates(self):
+        # The program itself stores into its own code range mid-run —
+        # the architectural results must still match single-stepping,
+        # and the cached run must notice the dirty range.
+        source = """
+            li t0, 3
+        loop1:
+            addi t0, t0, -1
+            bnez t0, loop1
+            bnez a2, done
+            li a2, 1
+            sw a3, 4(s1)
+            li t0, 3
+            j loop1
+        done:
+            halt
+        """
+        program = assemble(source)
+        states, counters = [], []
+        for block_cache in (False, True):
+            cpu, roots = _fresh_cpu(block_cache)
+            _load(cpu, roots, program)
+            # s1: write authority over the code region (loop1's range).
+            cpu.regs.write(
+                9, roots.memory.set_address(CODE_BASE).set_bounds(0x100)
+            )
+            cpu.run()
+            states.append(_state(cpu))
+            counters.append(cpu.block_stats.invalidations)
+        assert states[0] == states[1]
+        assert counters[1] >= 1  # the cached run saw the dirty store
+
+    def test_store_outside_code_region_does_not_invalidate(self):
+        source = """
+            li t0, 3
+        loop1:
+            sw t0, 0(s0)
+            addi t0, t0, -1
+            bnez t0, loop1
+            halt
+        """
+        program = assemble(source)
+        cpu, roots = _fresh_cpu(block_cache=True)
+        _load(cpu, roots, program)
+        cpu.run()
+        assert cpu.block_stats.executions > 0
+        assert cpu.block_stats.invalidations == 0
+
+
+class TestMMIOCycleExactness:
+    def test_mtime_reads_mid_block_identical(self):
+        # A fused block that loads the CLINT's mtime must observe the
+        # same cycle counts single-stepping would: the executor streams
+        # cycle charges ahead of every memory operation.
+        source = """
+            li a0, 6
+            li a2, 0
+        loop:
+            lw a1, 4(s0)
+            add a2, a2, a1
+            addi a0, a0, -1
+            bnez a0, loop
+            halt
+        """
+        program = assemble(source)
+        timer_base = 0x4000_0000
+        sums, states = [], []
+        for block_cache in (False, True):
+            bus = SystemBus()
+            bus.attach_sram(TaggedMemory(CODE_BASE, 0x1_0000))
+            core_model = make_core_model(CoreKind.IBEX)
+            bus.attach_device(timer_base, 0x100, ClintTimer(core_model))
+            cpu = CPU(bus, ExecutionMode.RV32E, block_cache=block_cache)
+            cpu.timing = core_model
+            cpu.load_program(program, CODE_BASE)
+            cpu.regs.write_int(8, timer_base)
+            cpu.run()
+            sums.append(cpu.regs.read_int(12))
+            states.append(
+                (
+                    tuple(getattr(cpu.stats, f.name) for f in fields(cpu.stats)),
+                    core_model.cycles,
+                    bus.stats.mmio_reads,
+                )
+            )
+            if block_cache:
+                assert cpu.block_stats.executions > 0
+        assert sums[0] == sums[1]
+        assert states[0] == states[1]
+        assert sums[0] > 0  # mtime actually advanced during the run
+
+
+class TestWorkloadEquivalence:
+    @pytest.mark.parametrize("core", [CoreKind.FLUTE, CoreKind.IBEX])
+    @pytest.mark.parametrize(
+        "config", ["rv32e", "cheriot", "cheriot+filter"]
+    )
+    def test_coremark_bit_identical(self, core, config):
+        from repro.workloads.coremark import run_coremark
+
+        ref = run_coremark(core, config, iterations=1, block_cache=False)
+        new = run_coremark(core, config, iterations=1, block_cache=True)
+        assert (new.cycles, new.instructions, new.crc) == (
+            ref.cycles,
+            ref.instructions,
+            ref.crc,
+        )
+
+    def test_asm_switcher_bit_identical(self):
+        # The assembly compartment switcher: sentries, trusted-stack
+        # manipulation, stack zeroing, CSR access — the machinery the
+        # allocation benchmark's cross-compartment calls model.
+        from repro.rtos.asm_switcher import build_image
+
+        from tests.integration.test_asm_switcher import CALLEE, CALLER
+
+        states = []
+        for block_cache in (False, True):
+            image = build_image(CALLEE, CALLER, block_cache=block_cache)
+            image.cpu.run()
+            states.append(_state_no_timing(image.cpu))
+        assert states[0] == states[1]
+        assert states[1][1][0] > 50  # the full call/return path ran
+        assert states[1][0][10].address == 42  # callee's result in a0
+
+    def test_fault_campaign_slice_bit_identical(self, monkeypatch):
+        # 1000 seeded injections: every scenario, outcome, detail and
+        # wrong-result flag must match between executors.  (Injection
+        # hooks deoptimize per-step; hook-free phases run fused.)
+        from repro.faultinject import engine as engine_mod
+        from repro.faultinject.campaign import run_campaign
+
+        ref = run_campaign(1000).records
+
+        real_cpu = engine_mod.CPU
+
+        def single_step_cpu(*args, **kwargs):
+            kwargs.setdefault("block_cache", False)
+            return real_cpu(*args, **kwargs)
+
+        monkeypatch.setattr(engine_mod, "CPU", single_step_cpu)
+        old = run_campaign(1000).records
+        assert old == ref
+
+
+def _state_no_timing(cpu):
+    stats = tuple(getattr(cpu.stats, f.name) for f in fields(cpu.stats))
+    bus_stats = tuple(
+        getattr(cpu.bus.stats, f.name) for f in fields(cpu.bus.stats)
+    )
+    return cpu.regs.snapshot(), stats, bus_stats, cpu.pc
+
+
+_REGS = ["t0", "t1", "t2", "s1", "a0", "a1", "a2", "a3"]
+_ALU_RR = ["add", "sub", "and", "or", "xor", "sll", "srl", "mul", "div"]
+_ALU_RI = ["addi", "andi", "ori", "xori", "slti"]
+
+regs = st.sampled_from(_REGS)
+imms = st.integers(min_value=-2048, max_value=2047)
+mem_offsets = st.sampled_from([0, 4, 8, 64, DATA_SIZE - 4, DATA_SIZE])
+
+
+@st.composite
+def body_line(draw):
+    kind = draw(st.integers(min_value=0, max_value=4))
+    rd, rs, rt = draw(regs), draw(regs), draw(regs)
+    if kind == 0:
+        return f"{draw(st.sampled_from(_ALU_RR))} {rd}, {rs}, {rt}"
+    if kind == 1:
+        return f"{draw(st.sampled_from(_ALU_RI))} {rd}, {rs}, {draw(imms)}"
+    if kind == 2:
+        op = draw(st.sampled_from(["lw", "sw", "lb", "sb"]))
+        scale = 4 if op in ("lw", "sw") else 1
+        offset = draw(mem_offsets) // scale * scale
+        return f"{op} {rd}, {offset}(s0)"
+    if kind == 3:
+        op = draw(st.sampled_from(["clc", "csc"]))
+        offset = draw(mem_offsets) // 8 * 8
+        return f"{op} {rd}, {offset}(s0)"
+    return f"bne {rs}, {rt}, done"
+
+
+@st.composite
+def mixed_program(draw):
+    n = draw(st.integers(min_value=1, max_value=24))
+    lines = [draw(body_line()) for _ in range(n)]
+    return "\n".join(lines) + "\ndone: halt\n"
+
+
+class TestRandomizedEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(mixed_program())
+    def test_run_outcome_identical(self, source):
+        # Unlike the predecode differential (which single-steps), this
+        # drives cpu.run() so fused blocks, mid-block faults and the
+        # fall-back paths all engage.
+        program = assemble(source)
+        outcomes = []
+        for block_cache in (False, True):
+            cpu, roots = _fresh_cpu(block_cache)
+            _load(cpu, roots, program)
+            try:
+                cpu.run(max_steps=500)
+                outcomes.append(("halted", _state(cpu)))
+            except Trap as trap:
+                outcomes.append(
+                    ("trap", trap.cause, trap.pc, str(trap), _state(cpu))
+                )
+            except RuntimeError as exc:
+                outcomes.append(("exceeded", str(exc), _state(cpu)))
+        assert outcomes[0] == outcomes[1]

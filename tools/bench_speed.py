@@ -70,6 +70,9 @@ def main(argv=None) -> int:
             "alu_loop": round(
                 best["alu_loop"]["mips"] / SEED_BASELINE["alu_loop_mips"], 2
             ),
+            "mem_loop": round(
+                best["mem_loop"]["mips"] / SEED_BASELINE["mem_loop_mips"], 2
+            ),
         },
     }
     with open(args.output, "w") as fh:
@@ -83,7 +86,8 @@ def main(argv=None) -> int:
     print(
         "  speedup vs seed: "
         f"table3 {report['speedup_vs_seed']['table3_iter1']}x, "
-        f"alu {report['speedup_vs_seed']['alu_loop']}x"
+        f"alu {report['speedup_vs_seed']['alu_loop']}x, "
+        f"mem {report['speedup_vs_seed']['mem_loop']}x"
     )
     return 0
 

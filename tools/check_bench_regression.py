@@ -26,6 +26,10 @@ sys.path.insert(
 
 from repro.analysis.simspeed import host_speed_probe, measure_all  # noqa: E402
 
+#: Workloads the committed baseline must gate — a baseline refresh that
+#: drops one of these fails loudly instead of silently shrinking the net.
+REQUIRED_WORKLOADS = ("alu_loop", "mem_loop", "table3_iter1")
+
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
@@ -72,6 +76,11 @@ def main(argv=None) -> int:
                 best[name] = result
 
     failed = False
+    for name in REQUIRED_WORKLOADS:
+        if name not in baseline:
+            print(f"  {name:<14} missing from baseline", file=sys.stderr)
+            failed = True
+
     for name in sorted(baseline):
         base = baseline[name]["seconds"] * scale
         if name not in best:

@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Run the Section-7 benchmark suite and merge the reproduced tables.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python tools/run_benchmarks.py [-j N] [-o FILE]
+        [--modules bench_table3_coremark,bench_table4_alloc]
+
+Each benchmark module runs in its own subprocess (worker-per-benchmark)
+with ``PYTHONHASHSEED=0`` and its tables redirected to a private file
+via ``REPRO_BENCH_TABLES``; the merged ``bench_output_tables.txt`` is
+assembled in sorted module order after every worker finishes.  The
+output is therefore *byte-identical* for any ``--jobs`` value — there
+is no wall-clock-dependent interleaving and no timestamp in the file.
+
+``bench_simspeed.py`` is excluded from the merge: its output is host
+wall-clock (non-deterministic by nature).  Use ``tools/bench_speed.py``
+for simulator-speed numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import os
+import subprocess
+import sys
+import tempfile
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_DIR = os.path.join(ROOT, "benchmarks")
+
+#: Never merged into the tables file — host-timing output changes run
+#: to run, which would break the serial/parallel byte-identity contract.
+EXCLUDED = frozenset({"bench_simspeed.py"})
+
+
+def discover_modules() -> list:
+    names = [
+        name
+        for name in os.listdir(BENCH_DIR)
+        if name.startswith("bench_")
+        and name.endswith(".py")
+        and name not in EXCLUDED
+    ]
+    return sorted(names)
+
+
+def run_module(module: str, tables_path: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = "0"
+    env["REPRO_BENCH_TABLES"] = tables_path
+    env["PYTHONPATH"] = os.path.join(ROOT, "src")
+    cmd = [
+        sys.executable,
+        "-m",
+        "pytest",
+        os.path.join("benchmarks", module),
+        "--benchmark-disable",
+        "-q",
+        "-p",
+        "no:cacheprovider",
+    ]
+    return subprocess.run(cmd, cwd=ROOT, env=env, capture_output=True, text=True)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker subprocesses to run concurrently (default: %(default)s)",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default="bench_output_tables.txt",
+        help="merged tables file (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--modules",
+        default="",
+        help="comma-separated benchmark module names (default: all)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.modules:
+        modules = []
+        for name in args.modules.split(","):
+            name = name.strip()
+            if not name.endswith(".py"):
+                name += ".py"
+            if not os.path.exists(os.path.join(BENCH_DIR, name)):
+                print(f"no such benchmark module: {name}", file=sys.stderr)
+                return 2
+            modules.append(name)
+        modules.sort()
+    else:
+        modules = discover_modules()
+
+    jobs = max(1, args.jobs)
+    print(f"running {len(modules)} benchmark modules with {jobs} worker(s)")
+
+    failed = False
+    with tempfile.TemporaryDirectory(prefix="bench-tables-") as tmpdir:
+        tables = {m: os.path.join(tmpdir, m + ".tables") for m in modules}
+        with concurrent.futures.ThreadPoolExecutor(max_workers=jobs) as pool:
+            futures = {
+                pool.submit(run_module, m, tables[m]): m for m in modules
+            }
+            for future in concurrent.futures.as_completed(futures):
+                module = futures[future]
+                proc = future.result()
+                status = "ok" if proc.returncode == 0 else "FAILED"
+                print(f"  {module:<32} {status}")
+                if proc.returncode != 0:
+                    failed = True
+                    sys.stderr.write(proc.stdout)
+                    sys.stderr.write(proc.stderr)
+
+        if failed:
+            print("benchmark suite failed; tables not written", file=sys.stderr)
+            return 1
+
+        # Deterministic merge: fixed header, then each module's tables in
+        # sorted module order (completion order above does not matter).
+        parts = [
+            "Section-7 reproduced tables and figures\n"
+            "Regenerate with: make bench [PARALLEL=N]\n"
+            "Modules: " + ", ".join(m[:-3] for m in modules) + "\n"
+        ]
+        for module in modules:
+            with open(tables[module]) as fh:
+                parts.append(fh.read())
+        with open(args.output, "w") as fh:
+            fh.write("".join(parts))
+
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
