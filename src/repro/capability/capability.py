@@ -222,7 +222,8 @@ class Capability:
         """Copy with the validity tag cleared."""
         if not self.tag:
             return self
-        return replace(self, tag=False)
+        # The decode depends only on (address, bounds), both unchanged.
+        return _derive(self, self.address, False, self._dec)
 
     def set_address(self, address: int) -> "Capability":
         """``csetaddr``: move the address, untagging on unrepresentability.
@@ -239,14 +240,10 @@ class Capability:
                 address, self.bounds, self.base, self.top
             )
             tag = verified
-        new = Capability(
-            address, self.bounds, self.perms, self.otype, tag, self.reserved
-        )
-        if verified and self._dec is not None:
-            # The decode is unchanged by construction; seed the cache so
-            # the derived capability never re-decodes its bounds.
-            object.__setattr__(new, "_dec", self._dec)
-        return new
+        # A verified move keeps the decoded bounds by definition of
+        # representability; seed the cache so the derived capability
+        # never re-decodes.  Unverified moves may decode differently.
+        return _derive(self, address, tag, self._dec if verified else None)
 
     def inc_address(self, delta: int) -> "Capability":
         """``cincaddr``: pointer arithmetic with representability check."""
@@ -421,6 +418,32 @@ _NULL_BOUNDS = EncodedBounds(0, 0, 0)
 _NULL_CAP = Capability(address=0, bounds=_NULL_BOUNDS, perms=NO_PERMS, tag=False)
 
 
+def _derive(src: Capability, address: int, tag: bool, dec) -> Capability:
+    """Clone a validated capability with a new address/tag, skipping
+    ``__post_init__`` — every skipped check depends only on fields
+    copied verbatim from the already-validated source.  ``dec`` seeds
+    the decoded-bounds cache when the caller knows the decode is
+    unchanged (pass ``None`` otherwise); the permission-bitmask cache
+    always carries over since the permission set does.
+
+    This sits on the ``csetaddr``/``cincaddr`` hot path: pointer
+    arithmetic dominates capability traffic, and the dataclass
+    constructor re-normalizes (and re-hashes) the permission frozenset
+    on every derivation.
+    """
+    cap = object.__new__(Capability)
+    _set = object.__setattr__
+    _set(cap, "address", address)
+    _set(cap, "bounds", src.bounds)
+    _set(cap, "perms", src.perms)
+    _set(cap, "otype", src.otype)
+    _set(cap, "tag", tag)
+    _set(cap, "reserved", src.reserved)
+    _set(cap, "_dec", dec)
+    _set(cap, "_pbits", src._pbits)
+    return cap
+
+
 def _make_null(address: int) -> Capability:
     """Build a NULL-derived capability without ``__post_init__``.
 
@@ -480,6 +503,11 @@ def attenuate_loaded(loaded: Capability, authority: Capability) -> Capability:
     Untagged values pass through unchanged (they are just bits).
     """
     if not loaded.tag:
+        return loaded
+    aperms = authority.perms
+    if Permission.LG in aperms and Permission.LM in aperms:
+        # Full-authority loads (the common case: stack and globals run
+        # with LG+LM) attenuate nothing — skip the set algebra.
         return loaded
     perms = frozenset(loaded.perms)
     if Permission.LG not in authority.perms:

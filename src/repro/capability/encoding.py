@@ -15,6 +15,8 @@ exactly; the 6-bit permission field uses the compressed formats of
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from . import compression
 from .bounds import EncodedBounds
 from .capability import Capability
@@ -47,8 +49,17 @@ def pack(cap: Capability) -> int:
     return (pack_metadata(cap) << 32) | (cap.address & _WORD_MASK)
 
 
+@lru_cache(maxsize=65536)
 def unpack(bits: int, tag: bool) -> Capability:
-    """Unpack 64 stored bits plus the out-of-band tag into a capability."""
+    """Unpack 64 stored bits plus the out-of-band tag into a capability.
+
+    Memoized: capability loads cluster heavily on a small set of stored
+    patterns (stack spill slots, import tables), and unpacking is
+    deterministic in ``(bits, tag)``.  Sharing the returned instance is
+    safe — :class:`Capability` is immutable and compared by value — and
+    profitable beyond the decode itself, since the shared instance also
+    keeps its lazily-decoded bounds/permission caches warm.
+    """
     if not 0 <= bits < (1 << 64):
         raise ValueError(f"capability bits out of range: {bits:#x}")
     address = bits & _WORD_MASK

@@ -1,6 +1,7 @@
 """The simulated CHERIoT RISC-V instruction set (RV32E + M + Xcheriot)."""
 
 from .assembler import AssemblerError, Program, assemble
+from .blockcache import BlockCacheStats
 from .csr import CSRError, CSRFile, HWMState
 from .disassembler import disassemble, format_instruction
 from .exceptions import Trap, TrapCause, trap_from_capability_fault
@@ -10,6 +11,7 @@ from .load_filter import LoadFilter, LoadFilterStats
 from .pmp import PMP_ENTRIES, PMPEntry, PMPUnit, PMPViolation
 from .timer import ClintTimer
 from .trace import ExecutionTrace, TraceEntry
+from .tracejit import TraceJITStats
 from .registers import (
     ABI_NAMES,
     NUM_REGS,
@@ -20,6 +22,7 @@ from .registers import (
 __all__ = [
     "ABI_NAMES",
     "AssemblerError",
+    "BlockCacheStats",
     "CPU",
     "CSRError",
     "CSRFile",
@@ -42,6 +45,7 @@ __all__ = [
     "Program",
     "RegisterFile",
     "TraceEntry",
+    "TraceJITStats",
     "Trap",
     "TrapCause",
     "assemble",

@@ -42,6 +42,12 @@ from repro.capability.otypes import (
 from repro.memory.bus import SystemBus
 from .assembler import Program
 from .blockcache import BlockCacheStats, translate_block
+from .tracejit import (
+    HEAT_CHECKPOINT,
+    TraceJITStats,
+    compile_block,
+    note_block_heat,
+)
 from .csr import CSRFile
 from .exceptions import Trap, TrapCause, trap_from_capability_fault
 from .instructions import Instruction
@@ -104,6 +110,25 @@ def _signed(value: int) -> int:
     return value - (1 << 32) if value & 0x80000000 else value
 
 
+def _div_impl(a: int, b: int) -> int:
+    """RV32M ``div`` semantics (round toward zero, div-by-zero → -1).
+
+    Module-level so the trace-JIT's generated code shares the exact
+    implementation the dispatch table uses.
+    """
+    if b == 0:
+        return _WORD
+    q = abs(_signed(a)) // abs(_signed(b))
+    return -q if (_signed(a) < 0) != (_signed(b) < 0) else q
+
+
+def _rem_impl(a: int, b: int) -> int:
+    """RV32M ``rem`` semantics (sign of the dividend)."""
+    if b == 0:
+        return a
+    return _signed(a) - _signed(b) * _signed(_div_impl(a, b) & _WORD)
+
+
 class CPU:
     """A single CHERIoT (or plain RV32E) hart attached to a bus."""
 
@@ -118,12 +143,14 @@ class CPU:
         cfi_strict: bool = False,
         predecode: bool = True,
         block_cache: bool = True,
+        trace_jit: bool = True,
+        jit_threshold: int = 50,
     ) -> None:
         self.bus = bus
         self.mode = mode
         self.load_filter = load_filter
         self.pmp = pmp
-        self.timing = timing
+        self._timing = timing
         #: Decode-once, execute-many: with ``predecode`` (the default)
         #: the handler and operand metadata of every instruction are
         #: resolved at :meth:`load_program` time.  ``predecode=False``
@@ -142,10 +169,17 @@ class CPU:
         self._blocks: dict = {}
         self.block_stats = BlockCacheStats()
         self._code_watch = None
-        #: The timing object last verified to support batch charging
-        #: (the legacy trace-in-the-timing-slot idiom supplies only
-        #: ``retire()``); the run loop deoptimizes for anything else.
-        self._batchable_timing = None
+        #: Trace-JIT tier (:mod:`repro.isa.tracejit`): blocks that
+        #: execute fused ``jit_threshold`` times are compiled into
+        #: specialised Python functions.  Rides on the block cache, so
+        #: it inherits its deopt predicate and dirty-range invalidation.
+        self._jit_enabled = trace_jit and self._block_cache_enabled
+        self._jit_threshold = jit_threshold
+        self.jit_stats = TraceJITStats()
+        #: Completed iterations a faulting trace-loop recorded before it
+        #: re-raised (the generated ``except`` block writes it), so the
+        #: step-budget accounting stays exact across the bail-out.
+        self._jit_loop_iters = 0
         #: Cached executable window of the current PCC: instruction fetch
         #: is a two-comparison check while the PC stays inside
         #: ``[_fetch_lo, _fetch_hi]``; any PCC replacement recomputes it
@@ -175,34 +209,91 @@ class CPU:
         self.interrupt_pending: Optional[TrapCause] = None
         #: The most recent trap taken through the vector (diagnostics).
         self.last_trap: Optional[Trap] = None
-        #: Optional :class:`repro.isa.timer.ClintTimer` polled per step.
-        self.timer = None
+        #: Optional :class:`repro.isa.timer.ClintTimer` polled per step
+        #: (property: installing one deoptimizes the fused loop).
+        self._timer = None
         #: Optional hook called with the CPU before each instruction is
         #: fetched (both execution modes).  Fault-injection campaigns use
         #: it to mutate architectural state at a precise instruction
         #: boundary; a ``None`` hook costs one comparison per step.
-        self.pre_step_hook: Optional[Callable[["CPU"], None]] = None
+        self._pre_step_hook: Optional[Callable[["CPU"], None]] = None
         #: Retire hooks (tracing, profiling): called with ``(instr,
         #: info)`` after the timing model sees each retired instruction.
         #: Stored as a tuple-or-None so the hot step paths pay exactly
         #: one ``is None`` comparison when nothing is attached.
         self._retire_hooks: Optional[tuple] = None
         self._halted = False
+        self._update_fast_path()
 
     # ------------------------------------------------------------------
-    # Retire hooks
+    # Observer attachment and the cached deopt predicate
     # ------------------------------------------------------------------
+    #
+    # The run loop's fused-dispatch eligibility ("no observer attached,
+    # timing model batchable") is a single cached flag instead of a
+    # five-clause predicate re-evaluated every dispatch.  Every site
+    # that can change eligibility — the ``timing``/``timer``/
+    # ``pre_step_hook`` property setters, retire-hook install/remove,
+    # and ``load_program`` — recomputes it, so a hook installed mid-run
+    # (say, by an ``ecall`` handler) still deoptimizes from the very
+    # next run-loop iteration.
+
+    def _update_fast_path(self) -> None:
+        timing = self._timing
+        self._fast_loop_ok = (
+            self._block_cache_enabled
+            and self._decoded is not None
+            and self._timer is None
+            and self._pre_step_hook is None
+            and self._retire_hooks is None
+            and (
+                timing is None
+                or (
+                    hasattr(timing, "precompute_block")
+                    and hasattr(timing, "charge_block")
+                )
+            )
+        )
+
+    @property
+    def timing(self):
+        return self._timing
+
+    @timing.setter
+    def timing(self, value) -> None:
+        self._timing = value
+        self._update_fast_path()
+
+    @property
+    def timer(self):
+        return self._timer
+
+    @timer.setter
+    def timer(self, value) -> None:
+        self._timer = value
+        self._update_fast_path()
+
+    @property
+    def pre_step_hook(self) -> Optional[Callable[["CPU"], None]]:
+        return self._pre_step_hook
+
+    @pre_step_hook.setter
+    def pre_step_hook(self, value: Optional[Callable[["CPU"], None]]) -> None:
+        self._pre_step_hook = value
+        self._update_fast_path()
 
     def add_retire_hook(self, hook: Callable) -> None:
         """Observe every retired instruction as ``hook(instr, info)``."""
         hooks = self._retire_hooks or ()
         self._retire_hooks = hooks + (hook,)
+        self._update_fast_path()
 
     def remove_retire_hook(self, hook: Callable) -> None:
         # Equality, not identity: a bound method like ``trace.record`` is
         # a fresh object on every attribute access.
         hooks = tuple(h for h in (self._retire_hooks or ()) if h != hook)
         self._retire_hooks = hooks or None
+        self._update_fast_path()
 
     # ------------------------------------------------------------------
     # PCC and its cached fetch window
@@ -267,6 +358,7 @@ class CPU:
                 self._code_watch.lo = lo
                 self._code_watch.hi = hi
         self._halted = False
+        self._update_fast_path()
 
     @property
     def halted(self) -> bool:
@@ -278,30 +370,21 @@ class CPU:
         With the superblock cache enabled and no observer attached
         (``pre_step_hook``, retire hooks, polled timer), straight-line
         runs execute as fused blocks — one dispatch, batch-charged
-        stats and cycles, architecturally identical to single-stepping.
-        The eligibility check re-runs every iteration so a hook
-        installed mid-run (say, by an ``ecall`` handler) deoptimizes
-        from the very next step.
+        stats and cycles, architecturally identical to single-stepping —
+        and hot blocks are further promoted to compiled trace-JIT code.
+        Eligibility is the cached ``_fast_loop_ok`` flag, recomputed by
+        every observer install/remove site, so a hook installed mid-run
+        (say, by an ``ecall`` handler) deoptimizes from the very next
+        iteration without the loop re-evaluating the full predicate.
         """
         remaining = max_steps
         while remaining > 0:
             try:
-                if (
-                    self._block_cache_enabled
-                    and self._decoded is not None
-                    and self.timer is None
-                    and self.pre_step_hook is None
-                    and self._retire_hooks is None
-                    and (
-                        self.timing is None
-                        or self.timing is self._batchable_timing
-                        or self._check_batchable_timing()
-                    )
-                ):
+                if self._fast_loop_ok:
                     remaining -= self._block_step(remaining)
                 else:
-                    if self.timer is not None:
-                        self.timer.tick(self)
+                    if self._timer is not None:
+                        self._timer.tick(self)
                     if self._decoded is not None:
                         self._step_fast()
                     else:
@@ -350,8 +433,8 @@ class CPU:
         """Pre-decoded step: handler and operand metadata come from the
         table built at load time; the PCC check is two comparisons while
         the PC stays inside the cached executable window."""
-        if self.pre_step_hook is not None:
-            self.pre_step_hook(self)
+        if self._pre_step_hook is not None:
+            self._pre_step_hook(self)
         if (
             self.interrupt_pending is not None
             and self.csr.interrupts_enabled
@@ -410,20 +493,6 @@ class CPU:
     # Superblock execution
     # ------------------------------------------------------------------
 
-    def _check_batchable_timing(self) -> bool:
-        """True when ``self.timing`` supports block batch charging.
-
-        Cached by identity so the run loop's eligibility check is one
-        ``is`` comparison; anything without the :class:`CoreModel`
-        batch interface (e.g. a legacy trace riding the timing slot)
-        deoptimizes to per-instruction stepping.
-        """
-        timing = self.timing
-        if hasattr(timing, "precompute_block") and hasattr(timing, "charge_block"):
-            self._batchable_timing = timing
-            return True
-        return False
-
     def _block_step(self, remaining: int) -> int:
         """One run-loop entry into the translation cache.
 
@@ -447,16 +516,30 @@ class CPU:
         device reads like the CLINT's ``mtime``, store snoopers — sees
         the exact cycle count single-stepping would have shown it; the
         final ``charge_block`` adds only the unstreamed remainder.
+
+        Blocks that execute fused ``jit_threshold`` times are promoted
+        to the trace-JIT tier (:mod:`repro.isa.tracejit`): the compiled
+        function replaces the fused entry loop (and, for branch/jump
+        terminators, the terminator dispatch too).  A compiled function
+        that cannot handle its own terminator returns ``-1`` and the
+        interpreted terminator path below runs exactly as for a fused
+        block.  A fault inside compiled code re-raises with the
+        architectural state materialized at the faulting instruction,
+        and is delivered through the same :meth:`_block_fault`
+        prefix-replay path the fused loop uses.
         """
         consumed = 0
         blocks = self._blocks
         decoded = self._decoded
         code_base = self.code_base
         cheriot = self.mode is ExecutionMode.CHERIOT
-        timing = self.timing
+        timing = self._timing
         tstats = timing.stats if timing is not None else None
         stats = self.stats
         block_stats = self.block_stats
+        jit_enabled = self._jit_enabled
+        jit_threshold = self._jit_threshold
+        jstats = self.jit_stats
         while True:
             if (
                 self.interrupt_pending is not None
@@ -495,43 +578,126 @@ class CPU:
                 block_stats.single_steps += 1
                 self._step_fast()
                 return consumed + 1
-            block_stats.executions += 1
             n = block.length
-            flushed = 0
-            try:
-                for handler, operands, ipc, info, pre in block.entries:
-                    self.pc = ipc
-                    if pre:
-                        tstats.cycles += pre
-                        flushed += pre
-                    handler(self, operands, 0, info)
-            except (Trap, CapabilityError, PMPViolation) as fault:
-                if flushed:
-                    tstats.cycles -= flushed
-                return consumed + self._block_fault(
-                    block, (self.pc - pc) >> 2, fault
-                )
-            except BaseException:
-                # Non-architectural failure (bus MemoryError_, bugs):
-                # commit the retired prefix so diagnostics match
-                # single-stepping, then let it propagate.
-                if flushed:
-                    tstats.cycles -= flushed
-                self._commit_block_prefix(block, (self.pc - pc) >> 2)
-                raise
-            # Straight-line run retired: batch-charge counts and cycles.
-            stats.instructions += n
-            block_stats.instructions += n
-            if timing is not None:
-                timing.charge_block(block.charge, flushed)
-            term = block.term
-            if term is None:
-                self.pc = pc + 4 * n
-                consumed += n
+            jb = block.jit
+            if jb is None and jit_enabled and not block.jit_failed:
+                hits = block.hits + 1
+                block.hits = hits
+                if hits >= jit_threshold:
+                    jb = compile_block(self, block)
+                elif hits == 1:
+                    # First execution: adopt already-hot code for free.
+                    # The generated source is deterministic in (decoded
+                    # block, cost vector), so a code-cache hit means an
+                    # earlier CPU ran this exact block past the
+                    # threshold — no need to warm up again.
+                    jb = compile_block(self, block, cached_only=True)
+                elif not hits & (HEAT_CHECKPOINT - 1):
+                    # Below-threshold checkpoint: pool this block's
+                    # warmth with every earlier CPU instance that ran
+                    # the same code, so moderately-hot blocks still
+                    # compile across benchmark repetitions and fleets.
+                    jb = note_block_heat(self, block)
+            if jb is not None and jb.self_loop:
+                # Trace-loop shape: the function iterates the block
+                # internally (entry loads and write-back per iteration)
+                # and returns ``(next_pc, iterations)``.  It stops at
+                # every back-edge the chained dispatch would have: the
+                # iteration budget below, a deliverable interrupt, or
+                # mid-loop invalidation by the block's own stores.
+                self._jit_loop_iters = 0
+                try:
+                    next_pc, iters = jb.fn(
+                        self, (remaining - consumed) // block.steps
+                    )
+                except (Trap, CapabilityError, PMPViolation) as fault:
+                    iters = self._jit_loop_iters
+                    jstats.executions += iters + 1
+                    jstats.instructions += iters * jb.consumed
+                    jstats.guard_bails += 1
+                    consumed += iters * block.steps
+                    return consumed + self._block_fault(
+                        block, (self.pc - pc) >> 2, fault
+                    )
+                except BaseException:
+                    iters = self._jit_loop_iters
+                    jstats.executions += iters + 1
+                    jstats.instructions += iters * jb.consumed
+                    jstats.guard_bails += 1
+                    consumed += iters * block.steps
+                    self._commit_block_prefix(block, (self.pc - pc) >> 2)
+                    raise
+                jstats.executions += iters
+                jstats.instructions += iters * jb.consumed
+                self.pc = next_pc
+                consumed += iters * block.steps
                 if consumed >= remaining:
                     return consumed
                 continue
-            t_handler, t_operands, t_instr, t_info, t_pc = term
+            if jb is not None:
+                jstats.executions += 1
+                try:
+                    next_pc = jb.fn(self)
+                except (Trap, CapabilityError, PMPViolation) as fault:
+                    # The generated except block already reverted any
+                    # streamed cycles and wrote back the locals valid at
+                    # the faulting guard ordinal; ``cpu.pc`` points at
+                    # the faulting instruction.
+                    jstats.guard_bails += 1
+                    return consumed + self._block_fault(
+                        block, (self.pc - pc) >> 2, fault
+                    )
+                except BaseException:
+                    jstats.guard_bails += 1
+                    self._commit_block_prefix(block, (self.pc - pc) >> 2)
+                    raise
+                jstats.instructions += jb.consumed
+                if jb.handles_term:
+                    self.pc = next_pc
+                    consumed += jb.consumed
+                    if consumed >= remaining:
+                        return consumed
+                    continue
+                # Terminator stays interpreted: fall through to the
+                # shared terminator dispatch below (the compiled body
+                # has already retired and charged the straight line).
+            else:
+                block_stats.executions += 1
+                flushed = 0
+                try:
+                    for handler, operands, ipc, info, pre in block.entries:
+                        self.pc = ipc
+                        if pre:
+                            tstats.cycles += pre
+                            flushed += pre
+                        handler(self, operands, 0, info)
+                except (Trap, CapabilityError, PMPViolation) as fault:
+                    if flushed:
+                        tstats.cycles -= flushed
+                    return consumed + self._block_fault(
+                        block, (self.pc - pc) >> 2, fault
+                    )
+                except BaseException:
+                    # Non-architectural failure (bus MemoryError_, bugs):
+                    # commit the retired prefix so diagnostics match
+                    # single-stepping, then let it propagate.
+                    if flushed:
+                        tstats.cycles -= flushed
+                    self._commit_block_prefix(block, (self.pc - pc) >> 2)
+                    raise
+                # Straight-line run retired: batch-charge counts/cycles.
+                stats.instructions += n
+                block_stats.instructions += n
+                if timing is not None:
+                    timing.charge_block(block.charge, flushed)
+                term = block.term
+                if term is None:
+                    self.pc = pc + 4 * n
+                    consumed += n
+                    if consumed >= remaining:
+                        return consumed
+                    continue
+            t_handler, t_operands, t_instr, t_info, t_pc = block.term
             self.pc = t_pc
             t_info.branch_taken = False
             next_pc = t_pc + 4
@@ -618,16 +784,21 @@ class CPU:
             for i, b in self._blocks.items()
             if b is not None and b.start_index <= hi and lo <= b.end_index
         ]
+        dead_jit = 0
         for i in dead:
+            if self._blocks[i].jit is not None:
+                dead_jit += 1
             del self._blocks[i]
         self.block_stats.invalidations += len(dead)
+        if dead_jit:
+            self.jit_stats.invalidations += dead_jit
 
     def _step_interp(self) -> None:
         """The seed's interpretive step: string-keyed dispatch and a full
         PCC authorization per fetch.  Kept as the reference semantics for
         the differential golden-trace tests (``predecode=False``)."""
-        if self.pre_step_hook is not None:
-            self.pre_step_hook(self)
+        if self._pre_step_hook is not None:
+            self._pre_step_hook(self)
         if (
             self.interrupt_pending is not None
             and self.csr.interrupts_enabled
@@ -956,16 +1127,8 @@ def _build_dispatch():
     def sra(a, b):
         return (_signed(a) >> (b & 31)) & _WORD
 
-    def div(a, b):
-        if b == 0:
-            return _WORD
-        q = abs(_signed(a)) // abs(_signed(b))
-        return -q if (_signed(a) < 0) != (_signed(b) < 0) else q
-
-    def rem(a, b):
-        if b == 0:
-            return a
-        return _signed(a) - _signed(b) * _signed(div(a, b) & _WORD)
+    div = _div_impl
+    rem = _rem_impl
 
     d = {}
 

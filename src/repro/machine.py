@@ -24,7 +24,15 @@ from typing import Optional
 
 from repro.allocator import CheriHeap, TemporalSafetyMode
 from repro.capability import Capability, Permission, make_roots
-from repro.isa import CPU, CSRFile, ExecutionMode, LoadFilter, PMPUnit
+from repro.isa import (
+    CPU,
+    BlockCacheStats,
+    CSRFile,
+    ExecutionMode,
+    LoadFilter,
+    PMPUnit,
+    TraceJITStats,
+)
 from repro.memory import (
     MemoryMap,
     RevocationMap,
@@ -120,6 +128,13 @@ class System:
             "hardware_revoker", self.hardware_revoker.stats
         )
         self.registry.register_source("load_filter", self.load_filter.stats)
+        # Execution-tier counters: every CPU this system creates
+        # (``make_cpu``) shares these holders, so the summary aggregates
+        # translation/compilation activity across all harts.
+        self.block_cache_stats = BlockCacheStats()
+        self.trace_jit_stats = TraceJITStats()
+        self.registry.register_source("block_cache", self.block_cache_stats)
+        self.registry.register_source("trace_jit", self.trace_jit_stats)
         self.registry.register_scalar("epoch", lambda: self.epoch.value)
         self.registry.register_scalar(
             "quarantined_bytes", lambda: self.allocator.quarantined_bytes
@@ -139,6 +154,8 @@ class System:
         "software_revoker",
         "hardware_revoker",
         "load_filter",
+        "block_cache",
+        "trace_jit",
         "epoch",
         "quarantined_bytes",
         "live_allocations",
@@ -309,7 +326,7 @@ class System:
     def make_cpu(self, mode: ExecutionMode = ExecutionMode.CHERIOT,
                  pmp: Optional[PMPUnit] = None) -> CPU:
         """An ISA-level CPU sharing this system's bus and devices."""
-        return CPU(
+        cpu = CPU(
             self.bus,
             mode=mode,
             load_filter=self.load_filter if self.core_model.load_filter_enabled else None,
@@ -317,6 +334,10 @@ class System:
             timing=self.core_model,
             hwm_enabled=self.csr.hwm_enabled,
         )
+        # Aggregate this hart's tier counters into the system registry.
+        cpu.block_stats = self.block_cache_stats
+        cpu.jit_stats = self.trace_jit_stats
+        return cpu
 
     def reset_cycles(self) -> None:
         """Zero the cycle counters (between benchmark phases)."""

@@ -70,6 +70,12 @@ class SystemBus:
     def __init__(self) -> None:
         self._banks: List[TaggedMemory] = []
         self._devices: List[Tuple[int, int, MMIODevice]] = []
+        #: Hull of all device regions (lo inclusive, hi exclusive).
+        #: Devices cluster in a dedicated MMIO aperture well away from
+        #: SRAM, so the hot word paths reject "not a device" with two
+        #: comparisons instead of scanning the device list per access.
+        self._dev_lo = 0
+        self._dev_hi = 0
         self._store_snoopers: List[Callable[[int, int], None]] = []
         self._dirty_watches: List[DirtyWatch] = []
         #: Most-recently-hit bank: accesses cluster heavily (code in one
@@ -92,6 +98,11 @@ class SystemBus:
     def attach_device(self, base: int, size: int, device: MMIODevice) -> None:
         self._check_overlap(base, size)
         self._devices.append((base, size, device))
+        if len(self._devices) == 1:
+            self._dev_lo, self._dev_hi = base, base + size
+        else:
+            self._dev_lo = min(self._dev_lo, base)
+            self._dev_hi = max(self._dev_hi, base + size)
 
     def _check_overlap(self, base: int, size: int) -> None:
         for bank in self._banks:
@@ -103,7 +114,13 @@ class SystemBus:
 
     def bank_for(self, address: int, size: int = 1) -> TaggedMemory:
         bank = self._last_bank
-        if bank is not None and bank.contains(address, size):
+        # Inlined contains(): this is every access's path, and the
+        # most-recently-hit bank almost always matches.
+        if (
+            bank is not None
+            and bank.base <= address
+            and address + size <= bank.base + bank.size
+        ):
             return bank
         for bank in self._banks:
             if bank.contains(address, size):
@@ -158,7 +175,7 @@ class SystemBus:
     # ------------------------------------------------------------------
 
     def read_word(self, address: int, size: int = 4) -> int:
-        if self._devices:
+        if self._dev_lo <= address < self._dev_hi:
             hit = self._device_for(address)
             if hit is not None:
                 base, device = hit
@@ -168,7 +185,7 @@ class SystemBus:
         return self.bank_for(address, size).read_word(address, size)
 
     def write_word(self, address: int, value: int, size: int = 4) -> None:
-        if self._devices:
+        if self._dev_lo <= address < self._dev_hi:
             hit = self._device_for(address)
             if hit is not None:
                 base, device = hit

@@ -94,9 +94,11 @@ class TaggedMemory:
         """Little-endian unsigned read of 1, 2 or 4 bytes."""
         if address % size != 0:
             raise MemoryError_(f"misaligned {size}-byte read at {address:#x}")
-        # Inlined read_bytes: skips a call frame and the bytes() copy
-        # (int.from_bytes takes the bytearray slice directly).
-        off = self._offset(address, size)
+        # Inlined read_bytes and bounds check: skips two call frames and
+        # the bytes() copy (int.from_bytes takes the slice directly).
+        off = address - self.base
+        if off < 0 or off + size > self.size:
+            self._offset(address, size)  # raises with the standard message
         return int.from_bytes(self._data[off : off + size], "little")
 
     def write_word(self, address: int, value: int, size: int = 4) -> None:

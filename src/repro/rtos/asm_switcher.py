@@ -160,6 +160,8 @@ def build_image(
     trusted_stack_at: int = 0x2000_9000,
     export_table_at: int = 0x2000_9800,
     block_cache: bool = True,
+    trace_jit: bool = True,
+    jit_threshold: int = 50,
 ) -> AsmSwitcherImage:
     """Assemble switcher + callee + caller into one bootable image.
 
@@ -174,7 +176,13 @@ def build_image(
 
     bus = SystemBus()
     bus.attach_sram(TaggedMemory(code_base, 0x1_0000))
-    cpu = CPU(bus, ExecutionMode.CHERIOT, block_cache=block_cache)
+    cpu = CPU(
+        bus,
+        ExecutionMode.CHERIOT,
+        block_cache=block_cache,
+        trace_jit=trace_jit,
+        jit_threshold=jit_threshold,
+    )
     cpu.load_program(program, code_base, pcc=roots.executable, entry="_start")
 
     # The switcher's entry sentry: disable interrupts, keep SR.

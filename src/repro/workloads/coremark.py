@@ -23,6 +23,7 @@ overheads — the paper's actual claim — emerge from the mechanism.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Optional
 
 from repro.capability import Capability, Permission, make_roots
@@ -392,6 +393,35 @@ class CoreMarkResult:
         return self.iterations / (self.cycles / 1e6)
 
 
+@lru_cache(maxsize=32)
+def _assembled_image(
+    config: str,
+    iterations: int,
+    fixed_compiler: bool,
+    optimize: bool,
+    data_base: int,
+):
+    """Build and assemble one configuration's image, memoized.
+
+    The pipeline from IR to assembled program is deterministic in these
+    arguments, and benchmark harnesses (and the regression gate) run the
+    same configurations repeatedly — re-assembling dominated short runs.
+    The returned program is immutable and shared read-only across CPUs.
+    """
+    cheriot = config != "rv32e"
+    target = Target.CHERIOT if cheriot else Target.RV32E
+    module = build_coremark_module(8 if cheriot else 4)
+    compiled = compile_module(
+        module,
+        target,
+        fixed_compiler=fixed_compiler,
+        data_base=data_base,
+        optimize=optimize,
+    )
+    source = compiled.assembly + _DRIVER.format(iterations=iterations)
+    return assemble(source, name=f"coremark-{config}")
+
+
 def run_coremark(
     core: CoreKind,
     config: str,
@@ -399,6 +429,7 @@ def run_coremark(
     fixed_compiler: bool = False,
     optimize: bool = False,
     block_cache: bool = True,
+    trace_jit: bool = True,
 ) -> CoreMarkResult:
     """Run the workalike under one of Table 3's configurations.
 
@@ -406,7 +437,9 @@ def run_coremark(
     ``cheriot`` (capabilities, load filter disabled), or
     ``cheriot+filter`` (capabilities with the load filter engaged).
     ``block_cache=False`` forces pure single-stepping — the differential
-    tests use it to pin the fused executor to the reference semantics.
+    tests use it to pin the fused executor to the reference semantics —
+    and ``trace_jit=False`` keeps the superblock cache but disables
+    compilation to specialised code (the middle tier alone).
     """
     if config not in ("rv32e", "cheriot", "cheriot+filter"):
         raise ValueError(f"unknown config {config!r}")
@@ -416,18 +449,9 @@ def run_coremark(
     bus.attach_sram(TaggedMemory(mm.code.base, mm.sram_bytes))
     rmap = RevocationMap(mm.heap.base, mm.heap.size)
 
-    target = Target.CHERIOT if cheriot else Target.RV32E
-    ptr_size = 8 if cheriot else 4
-    module = build_coremark_module(ptr_size)
-    compiled = compile_module(
-        module,
-        target,
-        fixed_compiler=fixed_compiler,
-        data_base=mm.globals_.base,
-        optimize=optimize,
+    program = _assembled_image(
+        config, iterations, fixed_compiler, optimize, mm.globals_.base
     )
-    source = compiled.assembly + _DRIVER.format(iterations=iterations)
-    program = assemble(source, name=f"coremark-{config}")
 
     core_model = make_core_model(core, load_filter_enabled=(config == "cheriot+filter"))
     load_filter = LoadFilter(rmap) if config == "cheriot+filter" else None
@@ -437,6 +461,7 @@ def run_coremark(
         load_filter=load_filter,
         timing=core_model,
         block_cache=block_cache,
+        trace_jit=trace_jit,
     )
 
     stack_top = mm.stacks.top

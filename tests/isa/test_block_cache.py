@@ -1,9 +1,11 @@
-"""Differential tests: superblock-cached execution vs single-stepping.
+"""Differential tests: the tiered executors vs single-stepping.
 
 The superblock translation cache (:mod:`repro.isa.blockcache`) fuses
 straight-line runs of pre-decoded instructions into one dispatch and
-batch-charges their cycle costs.  Its correctness contract is strict
-*observational equivalence*: with the cache on, every architectural
+batch-charges their cycle costs; the trace-JIT tier
+(:mod:`repro.isa.tracejit`) compiles hot blocks into specialised Python
+functions on top of it.  The correctness contract of both is strict
+*observational equivalence*: with any tier enabled, every architectural
 outcome — golden traces, register files, retired-instruction stats, bus
 counters, modelled cycles, trap causes and messages, even the cycle
 count an MMIO device reads mid-run — must be bit-identical to pure
@@ -12,7 +14,11 @@ workalike (both cores, all configs), the assembly compartment switcher
 (the machinery the allocation benchmark models), a seeded
 fault-injection campaign slice, and randomized programs; plus the
 cache-management machinery itself (invalidation on code-region stores,
-deoptimization under observers, exact step budgets).
+chained-block invalidation under self-modifying code, deoptimization
+under observers, exact step budgets).
+
+Every differential runs the full tier matrix in :data:`TIER_CONFIGS` —
+interpreter, block cache only, block cache + trace-JIT.
 """
 
 from dataclasses import fields
@@ -33,12 +39,26 @@ DATA_BASE = 0x2000_8000
 DATA_SIZE = 0x100
 
 
-def _fresh_cpu(block_cache, predecode=True):
+#: The three execution tiers, as CPU kwargs.  ``jit_threshold=2`` makes
+#: the trace-JIT engage within test-sized iteration counts (the default
+#: 50 would leave most of these programs on the fused tier).
+TIER_CONFIGS = (
+    ("interp", dict(block_cache=False)),
+    ("block", dict(block_cache=True, trace_jit=False)),
+    ("jit", dict(block_cache=True, trace_jit=True, jit_threshold=2)),
+)
+
+
+def _fresh_cpu(block_cache=True, predecode=True, **tier_kwargs):
     bus = SystemBus()
     bus.attach_sram(TaggedMemory(CODE_BASE, 0x1_0000))
     roots = make_roots()
     cpu = CPU(
-        bus, ExecutionMode.CHERIOT, predecode=predecode, block_cache=block_cache
+        bus,
+        ExecutionMode.CHERIOT,
+        predecode=predecode,
+        block_cache=block_cache,
+        **tier_kwargs,
     )
     cpu.timing = make_core_model(CoreKind.IBEX)
     return cpu, roots
@@ -61,12 +81,13 @@ def _state(cpu):
     return cpu.regs.snapshot(), stats, bus_stats, cpu.pc, cycles
 
 
-def _run_both(source, max_steps=100_000):
-    """Run one program under both executors; return (states, cpus)."""
+def _run_all(source, max_steps=100_000):
+    """Run one program under every tier; return (states, cpus), in
+    :data:`TIER_CONFIGS` order (interpreter first)."""
     program = assemble(source)
     states, cpus = [], []
-    for block_cache in (False, True):
-        cpu, roots = _fresh_cpu(block_cache)
+    for _name, cfg in TIER_CONFIGS:
+        cpu, roots = _fresh_cpu(**cfg)
         _load(cpu, roots, program)
         cpu.run(max_steps=max_steps)
         states.append(_state(cpu))
@@ -87,11 +108,14 @@ class TestStraightLineEquivalence:
             bnez a0, loop
             halt
         """
-        (ref, new), (_, cached) = _run_both(source)
-        assert new == ref
-        # The fused path actually ran (this is not a vacuous pass).
-        assert cached.block_stats.executions > 0
-        assert cached.block_stats.instructions > 0
+        states, cpus = _run_all(source)
+        assert states[1] == states[0]
+        assert states[2] == states[0]
+        # Each tier actually ran (this is not a vacuous pass).
+        assert cpus[1].block_stats.executions > 0
+        assert cpus[1].block_stats.instructions > 0
+        assert cpus[2].jit_stats.compiles > 0
+        assert cpus[2].jit_stats.executions > 0
 
     def test_cap_ops_and_cap_memory_bit_identical(self):
         source = """
@@ -106,9 +130,11 @@ class TestStraightLineEquivalence:
             bnez a0, loop
             halt
         """
-        (ref, new), (_, cached) = _run_both(source)
-        assert new == ref
-        assert cached.block_stats.executions > 0
+        states, cpus = _run_all(source)
+        assert states[1] == states[0]
+        assert states[2] == states[0]
+        assert cpus[1].block_stats.executions > 0
+        assert cpus[2].jit_stats.executions > 0
 
     def test_load_use_hazard_window_identical(self):
         # Back-to-back load/consume pairs at the block entry, interior,
@@ -124,8 +150,9 @@ class TestStraightLineEquivalence:
             add a4, a3, a3
             halt
         """
-        (ref, new), _ = _run_both(source)
-        assert new == ref
+        states, _ = _run_all(source)
+        assert states[1] == states[0]
+        assert states[2] == states[0]
 
     def test_division_and_multiply_costs_identical(self):
         source = """
@@ -139,8 +166,9 @@ class TestStraightLineEquivalence:
             bnez a0, loop
             halt
         """
-        (ref, new), _ = _run_both(source)
-        assert new == ref
+        states, _ = _run_all(source)
+        assert states[1] == states[0]
+        assert states[2] == states[0]
 
 
 class TestFaultEquivalence:
@@ -157,8 +185,8 @@ class TestFaultEquivalence:
         """
         program = assemble(source)
         outcomes = []
-        for block_cache in (False, True):
-            cpu, roots = _fresh_cpu(block_cache)
+        for _name, cfg in TIER_CONFIGS:
+            cpu, roots = _fresh_cpu(**cfg)
             _load(cpu, roots, program)
             with pytest.raises(Trap) as excinfo:
                 cpu.run()
@@ -166,7 +194,8 @@ class TestFaultEquivalence:
             outcomes.append(
                 (trap.cause, trap.pc, str(trap), _state(cpu))
             )
-        assert outcomes[0] == outcomes[1]
+        assert outcomes[1] == outcomes[0]
+        assert outcomes[2] == outcomes[0]
 
     def test_vectored_mid_block_fault_identical(self):
         source = """
@@ -181,14 +210,15 @@ class TestFaultEquivalence:
         """
         program = assemble(source)
         states = []
-        for block_cache in (False, True):
-            cpu, roots = _fresh_cpu(block_cache)
+        for _name, cfg in TIER_CONFIGS:
+            cpu, roots = _fresh_cpu(**cfg)
             _load(cpu, roots, program)
             handler_pc = CODE_BASE + 4 * program.entry("handler")
             cpu.regs.write_scr("mtcc", roots.executable.set_address(handler_pc))
             cpu.run()
             states.append(_state(cpu))
-        assert states[0] == states[1]
+        assert states[1] == states[0]
+        assert states[2] == states[0]
         regs = states[1][0]
         assert regs[13].address == 7  # the handler ran
         assert regs[10].address == 42  # pre-fault value preserved
@@ -212,15 +242,16 @@ class TestFaultEquivalence:
         # exactly enough must halt with identical stats.
         for budget, expect_halt in ((retired - 1, False), (retired, True)):
             outcomes = []
-            for block_cache in (False, True):
-                cpu, roots = _fresh_cpu(block_cache)
+            for _name, cfg in TIER_CONFIGS:
+                cpu, roots = _fresh_cpu(**cfg)
                 _load(cpu, roots, program)
                 try:
                     cpu.run(max_steps=budget)
                     outcomes.append(("halted", _state(cpu)))
                 except RuntimeError as exc:
                     outcomes.append(("exceeded", str(exc), _state(cpu)))
-            assert outcomes[0] == outcomes[1]
+            assert outcomes[1] == outcomes[0]
+            assert outcomes[2] == outcomes[0]
             assert (outcomes[0][0] == "halted") is expect_halt
 
 
@@ -239,16 +270,19 @@ class TestDeoptimization:
         """
         program = assemble(source)
         traces, states = [], []
-        for block_cache in (False, True):
-            cpu, roots = _fresh_cpu(block_cache)
+        for _name, cfg in TIER_CONFIGS:
+            cpu, roots = _fresh_cpu(**cfg)
             _load(cpu, roots, program)
             trace = ExecutionTrace(code_base=CODE_BASE).attach(cpu)
             cpu.run()
             traces.append(trace.entries)
             states.append(_state(cpu))
             assert cpu.block_stats.executions == 0
-        assert traces[0] == traces[1]
-        assert states[0] == states[1]
+            assert cpu.jit_stats.executions == 0
+        assert traces[1] == traces[0]
+        assert traces[2] == traces[0]
+        assert states[1] == states[0]
+        assert states[2] == states[0]
 
     def test_pre_step_hook_forces_single_stepping(self):
         source = "li a0, 5\nloop:\naddi a0, a0, -1\nbnez a0, loop\nhalt\n"
@@ -319,8 +353,8 @@ class TestInvalidation:
         """
         program = assemble(source)
         states, counters = [], []
-        for block_cache in (False, True):
-            cpu, roots = _fresh_cpu(block_cache)
+        for _name, cfg in TIER_CONFIGS:
+            cpu, roots = _fresh_cpu(**cfg)
             _load(cpu, roots, program)
             # s1: write authority over the code region (loop1's range).
             cpu.regs.write(
@@ -329,8 +363,10 @@ class TestInvalidation:
             cpu.run()
             states.append(_state(cpu))
             counters.append(cpu.block_stats.invalidations)
-        assert states[0] == states[1]
-        assert counters[1] >= 1  # the cached run saw the dirty store
+        assert states[1] == states[0]
+        assert states[2] == states[0]
+        assert counters[1] >= 1  # the cached runs saw the dirty store
+        assert counters[2] >= 1
 
     def test_store_outside_code_region_does_not_invalidate(self):
         source = """
@@ -347,6 +383,116 @@ class TestInvalidation:
         cpu.run()
         assert cpu.block_stats.executions > 0
         assert cpu.block_stats.invalidations == 0
+
+
+class TestSuccessorBlockInvalidation:
+    """Self-modifying code rewriting a *successor* block while its
+    predecessor's compiled trace is mid-execution.
+
+    The predecessor is a hot self-loop (a compiled trace at
+    ``jit_threshold=2``) whose body stores into the code range of the
+    block that executes after the loop exits.  The dirty-range hooks
+    must drop the successor's translation (and compiled code) on every
+    such store — while the predecessor keeps looping — and the
+    architectural outcome must stay bit-identical to single-stepping.
+    The decoded program image is fixed at load time (the simulator's
+    predecode contract), so the observable effects are the bus/stat
+    stream and the invalidation counters, not new instruction bytes.
+    """
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        loops=st.integers(min_value=3, max_value=40),
+        victim_word=st.integers(min_value=0, max_value=2),
+        value=st.integers(min_value=0, max_value=0xFFFF_FFFF),
+    )
+    def test_trace_loop_rewrites_successor(self, loops, victim_word, value):
+        # Two rounds: round 1 executes (and caches) the successor block
+        # at label succ, and heats loop1 past the JIT threshold; in
+        # round 2 the compiled trace's store drops succ's translation
+        # mid-loop.  The store hits the victim word inside succ.
+        source = f"""
+            li a5, 2
+            li a3, {value}
+        round:
+            li t0, {loops}
+        loop1:
+            sw a3, 0(s1)
+            addi t0, t0, -1
+            bnez t0, loop1
+        succ:
+            li a1, 11
+            addi a1, a1, 3
+            add a2, a1, a1
+            addi a5, a5, -1
+            bnez a5, round
+            halt
+        """
+        program = assemble(source)
+        succ_pc = CODE_BASE + 4 * program.entry("succ")
+        states, counters = [], []
+        for _name, cfg in TIER_CONFIGS:
+            cpu, roots = _fresh_cpu(**cfg)
+            _load(cpu, roots, program)
+            # s1: write authority aimed at the victim word of succ.
+            cpu.regs.write(
+                9,
+                roots.memory.set_address(succ_pc + 4 * victim_word)
+                .set_bounds(4),
+            )
+            cpu.run()
+            states.append(_state(cpu))
+            counters.append(
+                (cpu.block_stats.invalidations, cpu.jit_stats.invalidations)
+            )
+        assert states[1] == states[0]
+        assert states[2] == states[0]
+        # Both cached tiers saw the successor's range go dirty.
+        assert counters[1][0] >= 1
+        assert counters[2][0] >= 1
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        loops=st.integers(min_value=3, max_value=30),
+        value=st.integers(min_value=0, max_value=0xFFFF_FFFF),
+    )
+    def test_chained_blocks_rewrite_each_other(self, loops, value):
+        # Two blocks chained by compiled ``j`` terminators: A stores
+        # into B's range every round while the executor's chained
+        # dispatch alternates A -> B -> A.  B must be dropped and
+        # re-translated (and re-compiled once hot again) every round.
+        source = f"""
+            li t0, {loops}
+            li a3, {value}
+        blockA:
+            sw a3, 0(s1)
+            addi t0, t0, -1
+            beqz t0, done
+            j blockB
+        blockB:
+            addi a2, a2, 1
+            j blockA
+        done:
+            li a1, 5
+            halt
+        """
+        program = assemble(source)
+        victim_pc = CODE_BASE + 4 * program.entry("blockB")
+        states, counters = [], []
+        for _name, cfg in TIER_CONFIGS:
+            cpu, roots = _fresh_cpu(**cfg)
+            _load(cpu, roots, program)
+            cpu.regs.write(
+                9, roots.memory.set_address(victim_pc).set_bounds(4)
+            )
+            cpu.run()
+            states.append(_state(cpu))
+            counters.append(cpu.block_stats.invalidations)
+        assert states[1] == states[0]
+        assert states[2] == states[0]
+        # Every store dropped the successor: one invalidation per round.
+        assert counters[1] >= loops - 1
+        assert counters[2] >= loops - 1
 
 
 class TestMMIOCycleExactness:
@@ -367,12 +513,12 @@ class TestMMIOCycleExactness:
         program = assemble(source)
         timer_base = 0x4000_0000
         sums, states = [], []
-        for block_cache in (False, True):
+        for name, cfg in TIER_CONFIGS:
             bus = SystemBus()
             bus.attach_sram(TaggedMemory(CODE_BASE, 0x1_0000))
             core_model = make_core_model(CoreKind.IBEX)
             bus.attach_device(timer_base, 0x100, ClintTimer(core_model))
-            cpu = CPU(bus, ExecutionMode.RV32E, block_cache=block_cache)
+            cpu = CPU(bus, ExecutionMode.RV32E, **cfg)
             cpu.timing = core_model
             cpu.load_program(program, CODE_BASE)
             cpu.regs.write_int(8, timer_base)
@@ -385,10 +531,12 @@ class TestMMIOCycleExactness:
                     bus.stats.mmio_reads,
                 )
             )
-            if block_cache:
+            if name != "interp":
                 assert cpu.block_stats.executions > 0
-        assert sums[0] == sums[1]
-        assert states[0] == states[1]
+        assert sums[1] == sums[0]
+        assert sums[2] == sums[0]
+        assert states[1] == states[0]
+        assert states[2] == states[0]
         assert sums[0] > 0  # mtime actually advanced during the run
 
 
@@ -401,12 +549,14 @@ class TestWorkloadEquivalence:
         from repro.workloads.coremark import run_coremark
 
         ref = run_coremark(core, config, iterations=1, block_cache=False)
-        new = run_coremark(core, config, iterations=1, block_cache=True)
-        assert (new.cycles, new.instructions, new.crc) == (
-            ref.cycles,
-            ref.instructions,
-            ref.crc,
-        )
+        mid = run_coremark(core, config, iterations=1, trace_jit=False)
+        new = run_coremark(core, config, iterations=1)
+        for result in (mid, new):
+            assert (result.cycles, result.instructions, result.crc) == (
+                ref.cycles,
+                ref.instructions,
+                ref.crc,
+            )
 
     def test_asm_switcher_bit_identical(self):
         # The assembly compartment switcher: sentries, trusted-stack
@@ -417,32 +567,36 @@ class TestWorkloadEquivalence:
         from tests.integration.test_asm_switcher import CALLEE, CALLER
 
         states = []
-        for block_cache in (False, True):
-            image = build_image(CALLEE, CALLER, block_cache=block_cache)
+        for _name, cfg in TIER_CONFIGS:
+            image = build_image(CALLEE, CALLER, **cfg)
             image.cpu.run()
             states.append(_state_no_timing(image.cpu))
-        assert states[0] == states[1]
+        assert states[1] == states[0]
+        assert states[2] == states[0]
         assert states[1][1][0] > 50  # the full call/return path ran
         assert states[1][0][10].address == 42  # callee's result in a0
 
     def test_fault_campaign_slice_bit_identical(self, monkeypatch):
         # 1000 seeded injections: every scenario, outcome, detail and
-        # wrong-result flag must match between executors.  (Injection
-        # hooks deoptimize per-step; hook-free phases run fused.)
+        # wrong-result flag must match across all three tiers.
+        # (Injection hooks deoptimize per-step; hook-free phases run
+        # fused/compiled.)
         from repro.faultinject import engine as engine_mod
         from repro.faultinject.campaign import run_campaign
 
-        ref = run_campaign(1000).records
-
         real_cpu = engine_mod.CPU
+        records = []
+        for _name, cfg in TIER_CONFIGS:
 
-        def single_step_cpu(*args, **kwargs):
-            kwargs.setdefault("block_cache", False)
-            return real_cpu(*args, **kwargs)
+            def tiered_cpu(*args, _cfg=cfg, **kwargs):
+                for key, value in _cfg.items():
+                    kwargs.setdefault(key, value)
+                return real_cpu(*args, **kwargs)
 
-        monkeypatch.setattr(engine_mod, "CPU", single_step_cpu)
-        old = run_campaign(1000).records
-        assert old == ref
+            monkeypatch.setattr(engine_mod, "CPU", tiered_cpu)
+            records.append(run_campaign(1000).records)
+        assert records[1] == records[0]
+        assert records[2] == records[0]
 
 
 def _state_no_timing(cpu):
@@ -498,8 +652,8 @@ class TestRandomizedEquivalence:
         # fall-back paths all engage.
         program = assemble(source)
         outcomes = []
-        for block_cache in (False, True):
-            cpu, roots = _fresh_cpu(block_cache)
+        for _name, cfg in TIER_CONFIGS:
+            cpu, roots = _fresh_cpu(**cfg)
             _load(cpu, roots, program)
             try:
                 cpu.run(max_steps=500)
@@ -510,4 +664,5 @@ class TestRandomizedEquivalence:
                 )
             except RuntimeError as exc:
                 outcomes.append(("exceeded", str(exc), _state(cpu)))
-        assert outcomes[0] == outcomes[1]
+        assert outcomes[1] == outcomes[0]
+        assert outcomes[2] == outcomes[0]

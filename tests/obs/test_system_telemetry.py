@@ -64,7 +64,17 @@ class TestTelemetryOffDifferential:
         assert on["kernel_cycles"] == off["kernel_cycles"]
         sys_on, sys_off = on["system"], off["system"]
         assert sys_on.core_model.cycles == sys_off.core_model.cycles
-        assert sys_on.stats_summary() == sys_off.stats_summary()
+        s_on, s_off = sys_on.stats_summary(), sys_off.stats_summary()
+        # The execution-tier groups are host-side counters: telemetry
+        # attaches retire hooks, which deoptimize the fused block/JIT
+        # tiers, so translation/compilation activity differs by design.
+        # Every *architectural* group must still match exactly — which
+        # is the tier-transparency claim seen from the other side.
+        host_side = {"block_cache", "trace_jit"}
+        assert list(s_on) == list(s_off)
+        for group in s_on:
+            if group not in host_side:
+                assert s_on[group] == s_off[group], group
 
     def test_off_system_has_no_obs_anywhere(self):
         system = build(False)

@@ -47,18 +47,23 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
+    # Probe on both sides of the measurement window and keep the min:
+    # the baseline probe should describe this host at its quietest, the
+    # same moment the best-of-repeat workload minima were achieved.
+    probe = host_speed_probe()
     best: dict = {}
     for _ in range(max(1, args.repeat)):
         for name, result in measure_all().items():
             if name not in best or result["seconds"] < best[name]["seconds"]:
                 best[name] = result
+    probe = min(probe, host_speed_probe())
 
     report = {
         "generated": datetime.datetime.now(datetime.timezone.utc).isoformat(
             timespec="seconds"
         ),
         "python": platform.python_version(),
-        "probe_seconds": host_speed_probe(),
+        "probe_seconds": probe,
         "workloads": best,
         "seed_baseline": SEED_BASELINE,
         "speedup_vs_seed": {
@@ -73,6 +78,9 @@ def main(argv=None) -> int:
             "mem_loop": round(
                 best["mem_loop"]["mips"] / SEED_BASELINE["mem_loop_mips"], 2
             ),
+            # coremark_1k has no seed-era number (the workload post-dates
+            # the seed); it is gated purely against the committed
+            # baseline by check_bench_regression.py.
         },
     }
     with open(args.output, "w") as fh:

@@ -24,11 +24,15 @@ sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
 )
 
-from repro.analysis.simspeed import host_speed_probe, measure_all  # noqa: E402
+from repro.analysis.simspeed import (  # noqa: E402
+    MEASURERS,
+    host_speed_probe,
+    measure_all,
+)
 
 #: Workloads the committed baseline must gate — a baseline refresh that
 #: drops one of these fails loudly instead of silently shrinking the net.
-REQUIRED_WORKLOADS = ("alu_loop", "mem_loop", "table3_iter1")
+REQUIRED_WORKLOADS = ("alu_loop", "mem_loop", "table3_iter1", "coremark_1k")
 
 
 def main(argv=None) -> int:
@@ -62,18 +66,22 @@ def main(argv=None) -> int:
 
     # Normalize out host-speed drift (shared machines vary more than the
     # threshold): scale the baseline by how much slower or faster this
-    # host runs a fixed pure-Python probe than the baseline host did.
-    scale = 1.0
-    base_probe = report.get("probe_seconds")
-    if base_probe:
-        scale = host_speed_probe() / base_probe
-        print(f"  host speed probe: {scale:.2f}x baseline host")
-
+    # host runs a fixed simulator-shaped probe than the baseline host
+    # did.  The probe runs before *and* after the workload rounds (min
+    # kept) so a mid-run load burst cannot leave the minima unpaired.
+    probe = host_speed_probe()
     best: dict = {}
     for _ in range(max(1, args.repeat)):
         for name, result in measure_all().items():
             if name not in best or result["seconds"] < best[name]["seconds"]:
                 best[name] = result
+    probe = min(probe, host_speed_probe())
+
+    scale = 1.0
+    base_probe = report.get("probe_seconds")
+    if base_probe:
+        scale = probe / base_probe
+        print(f"  host speed probe: {scale:.2f}x baseline host")
 
     failed = False
     for name in REQUIRED_WORKLOADS:
@@ -81,6 +89,7 @@ def main(argv=None) -> int:
             print(f"  {name:<14} missing from baseline", file=sys.stderr)
             failed = True
 
+    measurers = dict(MEASURERS)
     for name in sorted(baseline):
         base = baseline[name]["seconds"] * scale
         if name not in best:
@@ -89,6 +98,12 @@ def main(argv=None) -> int:
             continue
         now = best[name]["seconds"]
         ratio = now / base if base > 0 else float("inf")
+        if ratio > 1.0 + args.threshold and name in measurers:
+            # One re-measure before declaring a regression: a single
+            # co-tenant load burst costs more than the threshold, while
+            # a genuine simulator slowdown reproduces on the spot.
+            now = min(now, measurers[name]()["seconds"])
+            ratio = now / base if base > 0 else float("inf")
         status = "ok"
         if ratio > 1.0 + args.threshold:
             status = f"REGRESSION (> {args.threshold:.0%})"
