@@ -10,9 +10,13 @@ TRACE ?= trace.json
 ## Worker processes for `make bench` (one benchmark module per worker).
 PARALLEL ?= 1
 
-.PHONY: test ci bench bench-speed bench-check faults faults-check profile trace
+## Worker processes for `make fleet` (one shard per worker).
+FLEET_JOBS ?= 2
 
-test: faults-check bench-check
+.PHONY: test ci bench bench-speed bench-check faults faults-check \
+	fleet fleet-check profile trace
+
+test: faults-check bench-check fleet-check
 	$(PYTHON) -m pytest -x -q
 
 ## What CI runs: the regression gates plus the full test suite.
@@ -43,6 +47,17 @@ endif
 ## CI gate: zero escaped injections + detection-rate non-regression.
 faults-check:
 	$(PYTHON) tools/check_fault_regression.py
+
+## Run the supervised device fleet and refresh BENCH_fleet.json.  The
+## report is byte-identical for any FLEET_JOBS value (and for --serial).
+fleet:
+	$(PYTHON) tools/fleet_campaign.py --jobs $(FLEET_JOBS) --check
+
+## CI gate: the committed BENCH_fleet.json must reproduce byte-for-byte
+## from a serial in-process run, with zero escapes and zero degraded
+## shards.
+fleet-check:
+	$(PYTHON) tools/check_fleet_regression.py
 
 ## Per-compartment cycle attribution + hot-PC report for the reference
 ## telemetry workload (exits non-zero if attribution fails to reconcile

@@ -1,0 +1,227 @@
+"""Worker-process supervision shared by the fleet and the bench runner.
+
+:class:`WorkerProcess` wraps one subprocess with the three things a
+supervisor needs and ``subprocess.run`` does not give:
+
+* a **wall-clock deadline** — a worker that runs past it is killed,
+  not waited on forever;
+* a **heartbeat file** — a worker that is alive-but-wedged (stuck
+  syscall, livelock) stops touching its heartbeat and is killed even
+  though the wall deadline has not passed;
+* **terminate-then-kill escalation** — SIGTERM first so the worker can
+  flush, SIGKILL if it lingers.
+
+:func:`run_supervised` is the blocking convenience built on top — what
+``tools/run_benchmarks.py`` uses for its per-module timeout — while
+the fleet supervisor drives :class:`WorkerProcess` directly so it can
+watch many workers at once.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass
+class SupervisedResult:
+    """What one supervised worker run came back with."""
+
+    returncode: int
+    stdout: str
+    stderr: str
+    timed_out: bool
+    duration: float
+
+    @property
+    def ok(self) -> bool:
+        return self.returncode == 0 and not self.timed_out
+
+
+def tail(text: str, lines: int = 25) -> str:
+    """The last ``lines`` lines of ``text`` (diagnostics excerpts)."""
+    parts = text.rstrip().splitlines()
+    if len(parts) <= lines:
+        return text.rstrip()
+    return "\n".join(["... (truncated) ..."] + parts[-lines:])
+
+
+class WorkerProcess:
+    """One supervised subprocess: deadline, heartbeat, escalated kill."""
+
+    def __init__(
+        self,
+        cmd: List[str],
+        *,
+        env: Optional[dict] = None,
+        cwd: Optional[str] = None,
+        stdout_path: Optional[str] = None,
+        stderr_path: Optional[str] = None,
+        timeout: Optional[float] = None,
+        heartbeat_path: Optional[str] = None,
+        heartbeat_timeout: Optional[float] = None,
+    ) -> None:
+        self.cmd = list(cmd)
+        self.env = env
+        self.cwd = cwd
+        self.stdout_path = stdout_path
+        self.stderr_path = stderr_path
+        self.timeout = timeout
+        self.heartbeat_path = heartbeat_path
+        self.heartbeat_timeout = heartbeat_timeout
+        self.proc: Optional[subprocess.Popen] = None
+        self.started_at: float = 0.0
+        self._stdout_fh = None
+        self._stderr_fh = None
+
+    # ------------------------------------------------------------------
+
+    def spawn(self) -> None:
+        if self.heartbeat_path is not None:
+            # The launch itself counts as the first beat, so a worker
+            # that dies before its first write is judged by the wall
+            # deadline, not by a missing file.
+            with open(self.heartbeat_path, "w") as fh:
+                fh.write("spawned\n")
+        self._stdout_fh = (
+            open(self.stdout_path, "wb") if self.stdout_path else subprocess.DEVNULL
+        )
+        self._stderr_fh = (
+            open(self.stderr_path, "wb") if self.stderr_path else subprocess.DEVNULL
+        )
+        self.proc = subprocess.Popen(
+            self.cmd,
+            env=self.env,
+            cwd=self.cwd,
+            stdout=self._stdout_fh,
+            stderr=self._stderr_fh,
+        )
+        self.started_at = time.monotonic()
+
+    def poll(self) -> Optional[int]:
+        assert self.proc is not None
+        code = self.proc.poll()
+        if code is not None:
+            self._close_files()
+        return code
+
+    def expired(self, now: Optional[float] = None) -> Optional[str]:
+        """A reason string if this worker should be killed, else None."""
+        now = time.monotonic() if now is None else now
+        if self.timeout is not None and now - self.started_at > self.timeout:
+            return f"wall-clock timeout ({self.timeout:.1f}s)"
+        if (
+            self.heartbeat_path is not None
+            and self.heartbeat_timeout is not None
+        ):
+            try:
+                stale = now_wall() - os.path.getmtime(self.heartbeat_path)
+            except OSError:
+                stale = None
+            if stale is not None and stale > self.heartbeat_timeout:
+                return f"heartbeat stale for {stale:.1f}s"
+        return None
+
+    def kill(self, grace: float = 1.0) -> None:
+        """SIGTERM, wait up to ``grace`` seconds, then SIGKILL."""
+        assert self.proc is not None
+        if self.proc.poll() is None:
+            self.proc.terminate()
+            try:
+                self.proc.wait(timeout=grace)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                self.proc.wait()
+        self._close_files()
+
+    def _close_files(self) -> None:
+        for fh in (self._stdout_fh, self._stderr_fh):
+            if fh is not None and fh is not subprocess.DEVNULL:
+                try:
+                    fh.close()
+                except OSError:
+                    pass
+        self._stdout_fh = self._stderr_fh = None
+
+    # ------------------------------------------------------------------
+
+    def read_output(self) -> "tuple[str, str]":
+        """Captured (stdout, stderr) so far, decoded tolerantly."""
+
+        def slurp(path: Optional[str]) -> str:
+            if not path:
+                return ""
+            try:
+                with open(path, "rb") as fh:
+                    return fh.read().decode("utf-8", "replace")
+            except OSError:
+                return ""
+
+        return slurp(self.stdout_path), slurp(self.stderr_path)
+
+
+def now_wall() -> float:
+    """Wall time for heartbeat-mtime comparisons (mockable in tests)."""
+    return time.time()
+
+
+def run_supervised(
+    cmd: List[str],
+    *,
+    timeout: Optional[float] = None,
+    env: Optional[dict] = None,
+    cwd: Optional[str] = None,
+    poll_interval: float = 0.05,
+    scratch_dir: Optional[str] = None,
+) -> SupervisedResult:
+    """Run ``cmd`` to completion under a wall-clock deadline.
+
+    Unlike ``subprocess.run(timeout=...)`` this never raises on
+    timeout: the worker is killed (terminate, then kill) and the
+    result says so, with whatever output it produced — the caller gets
+    diagnostics instead of a ``TimeoutExpired`` traceback.
+    """
+    import tempfile
+
+    owns_scratch = scratch_dir is None
+    scratch = scratch_dir or tempfile.mkdtemp(prefix="supervised-")
+    out_path = os.path.join(scratch, "stdout")
+    err_path = os.path.join(scratch, "stderr")
+    worker = WorkerProcess(
+        cmd,
+        env=env,
+        cwd=cwd,
+        stdout_path=out_path,
+        stderr_path=err_path,
+        timeout=timeout,
+    )
+    worker.spawn()
+    timed_out = False
+    try:
+        while True:
+            code = worker.poll()
+            if code is not None:
+                break
+            if worker.expired() is not None:
+                timed_out = True
+                worker.kill()
+                code = worker.proc.returncode
+                break
+            time.sleep(poll_interval)
+        duration = time.monotonic() - worker.started_at
+        stdout, stderr = worker.read_output()
+        return SupervisedResult(
+            returncode=code if code is not None else -1,
+            stdout=stdout,
+            stderr=stderr,
+            timed_out=timed_out,
+            duration=duration,
+        )
+    finally:
+        if owns_scratch:
+            import shutil
+
+            shutil.rmtree(scratch, ignore_errors=True)

@@ -1,0 +1,55 @@
+"""Seeded retry with exponential backoff and a bounded attempt budget.
+
+A crashed or hung shard is retried, but never forever: after
+``max_attempts`` total attempts the shard is quarantined and the fleet
+report annotates it as degraded instead of blocking (or silently
+dropping) the run.  Backoff delays grow exponentially and carry
+deterministic jitter — the jitter RNG is seeded from ``(seed,
+shard_id, attempt)``, so two runs of the same fleet schedule identical
+delays and a test can assert the exact schedule.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How failing shards are retried before being quarantined."""
+
+    #: Total attempts per shard, the first launch included.
+    max_attempts: int = 3
+    #: Delay before the first retry, in seconds.
+    base_delay: float = 0.05
+    #: Multiplier per further retry.
+    factor: float = 2.0
+    #: Delay ceiling, in seconds.
+    max_delay: float = 2.0
+    #: Seed for the deterministic jitter stream.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("need at least one attempt")
+        if self.base_delay < 0 or self.max_delay < self.base_delay:
+            raise ValueError("delays must satisfy 0 <= base <= max")
+
+    def allows(self, attempt: int) -> bool:
+        """May attempt number ``attempt`` (1-based) be launched?"""
+        return attempt <= self.max_attempts
+
+    def delay(self, shard_id: int, attempt: int) -> float:
+        """Backoff before launching ``attempt`` (2-based; first is free).
+
+        Full jitter on the top half: ``d * (0.5 + U[0,0.5])`` keeps a
+        floor (retrying instantly after a crash rarely helps) while
+        decorrelating shards that failed together.
+        """
+        if attempt <= 1:
+            return 0.0
+        raw = self.base_delay * self.factor ** (attempt - 2)
+        capped = min(self.max_delay, raw)
+        rng = random.Random(f"{self.seed}:{shard_id}:{attempt}")
+        return capped * (0.5 + rng.random() / 2)

@@ -1,0 +1,46 @@
+"""Running one shard: a contiguous slice of the fleet's devices.
+
+The shard layer is deliberately thin — devices are independent, so a
+shard is just a loop with a heartbeat callback between devices.  The
+result dict is what gets checkpointed; it carries the plan fingerprint
+of the spec that produced it so a merge can refuse mixed-plan inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .device import DeviceSpec, run_device
+from .plan import ShardSpec
+
+
+def run_shard(
+    spec: ShardSpec,
+    heartbeat: Optional[Callable[[int], None]] = None,
+) -> dict:
+    """Run every device in ``spec``; returns the checkpointable result.
+
+    ``heartbeat`` (if given) is called with the device id after each
+    completed device — the worker wires it to its heartbeat file so a
+    supervisor can tell a slow shard from a wedged one.
+    """
+    devices = []
+    for device_id in spec.device_ids:
+        devices.append(
+            run_device(
+                DeviceSpec(
+                    device_id=device_id,
+                    fleet_seed=spec.fleet_seed,
+                    injections=spec.injections_per_device,
+                    alloc_ops=spec.alloc_ops,
+                    trace_jit=spec.trace_jit,
+                )
+            )
+        )
+        if heartbeat is not None:
+            heartbeat(device_id)
+    return {
+        "shard": spec.shard_id,
+        "fleet_seed": spec.fleet_seed,
+        "devices": devices,
+    }

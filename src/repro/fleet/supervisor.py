@@ -1,0 +1,319 @@
+"""The fleet supervisor: keep the campaign alive through its failures.
+
+One supervision loop drives every shard through a small state machine::
+
+    pending -> launched -> completed
+                  |  \\
+                  |   expired (timeout / stale heartbeat) -> killed
+                  v                                            |
+               crashed <---------------------------------------+
+                  |
+                  v
+          backoff wait -> relaunched (attempt+1)   [seeded jitter]
+                  |
+                  v  (attempt budget exhausted)
+             quarantined  -> listed as degraded in the report
+
+Design rules:
+
+* **Crash isolation** — a shard failure never takes down the
+  supervisor or other shards; workers are separate processes and their
+  stderr is captured per attempt for diagnostics.
+* **No lost work** — results commit to the checkpoint store the moment
+  a worker succeeds; SIGTERM mid-run leaves every committed shard
+  behind for ``--resume``.
+* **No silent drops** — every planned shard ends as either a committed
+  result or a quarantine entry; the merge refuses anything else.
+* **Determinism** — the supervisor only decides *when and whether*
+  work runs, never what it computes, so the merged report is identical
+  for any jobs count, retry history, or resume split.  Host-side
+  health lives in :class:`~repro.obs.fleet.FleetHealthStats`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.obs.fleet import FleetHealthStats, register_fleet_health
+
+from .checkpoint import CheckpointStore
+from .plan import FleetPlan, ShardSpec
+from .procutil import WorkerProcess, tail
+from .retry import RetryPolicy
+
+#: How often the supervision loop looks at its workers (seconds).
+POLL_INTERVAL = 0.02
+
+
+class FleetInterrupted(Exception):
+    """The run was stopped (SIGTERM/SIGINT) before every shard finished.
+
+    Committed shards survive in the checkpoint directory; rerunning
+    with ``resume=True`` completes the remainder.
+    """
+
+
+@dataclass
+class _ShardState:
+    spec: ShardSpec
+    attempt: int = 0
+    worker: Optional[WorkerProcess] = None
+    #: monotonic time before which this shard may not relaunch.
+    not_before: float = 0.0
+    failures: List[str] = field(default_factory=list)
+
+
+class FleetSupervisor:
+    """Shards a plan across supervised workers and survives their loss."""
+
+    def __init__(
+        self,
+        plan: FleetPlan,
+        store: CheckpointStore,
+        jobs: int = 1,
+        timeout: Optional[float] = 120.0,
+        heartbeat_timeout: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+        chaos_dir: Optional[str] = None,
+        registry=None,
+        log: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.plan = plan
+        self.store = store
+        self.jobs = jobs
+        self.timeout = timeout
+        self.heartbeat_timeout = heartbeat_timeout
+        self.retry = retry if retry is not None else RetryPolicy(seed=plan.seed)
+        self.chaos_dir = chaos_dir
+        self.health = FleetHealthStats()
+        if registry is not None:
+            register_fleet_health(registry, self.health)
+        self._log = log if log is not None else (lambda msg: None)
+        #: Cooperative stop flag; a signal handler sets this.
+        self.stop_requested = False
+
+    def request_stop(self) -> None:
+        """Ask the run loop to wind down (signal-handler safe)."""
+        self.stop_requested = True
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle
+    # ------------------------------------------------------------------
+
+    def _paths(self, shard_id: int, attempt: int) -> Dict[str, str]:
+        work = self.store.workdir
+        stem = f"shard-{shard_id:04d}-a{attempt}"
+        return {
+            "spec": os.path.join(work, f"shard-{shard_id:04d}.spec.json"),
+            "out": os.path.join(work, f"{stem}.result.json"),
+            "heartbeat": os.path.join(work, f"shard-{shard_id:04d}.heartbeat"),
+            "stdout": os.path.join(work, f"{stem}.stdout"),
+            "stderr": os.path.join(work, f"{stem}.stderr"),
+        }
+
+    def _launch(self, state: _ShardState) -> None:
+        state.attempt += 1
+        paths = self._paths(state.spec.shard_id, state.attempt)
+        with open(paths["spec"], "w") as fh:
+            json.dump(state.spec.to_dict(), fh)
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = "0"
+        src = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+        )
+        env["PYTHONPATH"] = src + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        if self.chaos_dir is not None:
+            env["REPRO_FLEET_CHAOS"] = self.chaos_dir
+        cmd = [
+            sys.executable,
+            "-m",
+            "repro.fleet.worker",
+            "--spec",
+            paths["spec"],
+            "--out",
+            paths["out"],
+            "--heartbeat",
+            paths["heartbeat"],
+        ]
+        state.worker = WorkerProcess(
+            cmd,
+            env=env,
+            stdout_path=paths["stdout"],
+            stderr_path=paths["stderr"],
+            timeout=self.timeout,
+            heartbeat_path=paths["heartbeat"],
+            heartbeat_timeout=self.heartbeat_timeout,
+        )
+        state.worker.spawn()
+        self.health.worker_launches += 1
+        if state.attempt > 1:
+            self.health.retries += 1
+        self.health.record(
+            state.spec.shard_id, state.attempt,
+            "launch" if state.attempt == 1 else "retry-launch",
+        )
+        self._log(
+            f"shard {state.spec.shard_id}: attempt {state.attempt} launched"
+        )
+
+    def _harvest(self, state: _ShardState) -> Optional[dict]:
+        """A finished worker's validated result, or None (= failure)."""
+        paths = self._paths(state.spec.shard_id, state.attempt)
+        try:
+            with open(paths["out"]) as fh:
+                result = json.load(fh)
+        except (OSError, ValueError) as exc:
+            state.failures.append(f"result unreadable: {exc}")
+            return None
+        expected = list(state.spec.device_ids)
+        got = [d.get("device") for d in result.get("devices", [])]
+        if got != expected:
+            state.failures.append(
+                f"result covers devices {got}, expected {expected}"
+            )
+            return None
+        return result
+
+    def _fail(self, state: _ShardState, reason: str) -> Optional[str]:
+        """Record a failure; returns a quarantine reason when giving up."""
+        shard_id = state.spec.shard_id
+        _, stderr = (
+            state.worker.read_output() if state.worker else ("", "")
+        )
+        if stderr.strip():
+            reason = f"{reason}; stderr: {tail(stderr, 5)}"
+        state.failures.append(reason)
+        self.health.record(shard_id, state.attempt, f"failed: {reason}")
+        self._log(f"shard {shard_id}: attempt {state.attempt} failed — {reason}")
+        state.worker = None
+        next_attempt = state.attempt + 1
+        if self.retry.allows(next_attempt):
+            delay = self.retry.delay(shard_id, next_attempt)
+            state.not_before = time.monotonic() + delay
+            self._log(
+                f"shard {shard_id}: retrying in {delay:.2f}s "
+                f"(attempt {next_attempt}/{self.retry.max_attempts})"
+            )
+            return None
+        history = "; ".join(state.failures)
+        return (
+            f"quarantined after {state.attempt} attempts "
+            f"({history})"
+        )
+
+    # ------------------------------------------------------------------
+    # The supervision loop
+    # ------------------------------------------------------------------
+
+    def run(self, resume: bool = False) -> "tuple[Dict[int, dict], Dict[int, str]]":
+        """Run the fleet to completion (or quarantine).
+
+        Returns ``(shard_results, quarantined)``; raises
+        :class:`FleetInterrupted` if a stop was requested first.
+        """
+        self.store.bind(self.plan, resume=resume)
+        shards = self.plan.shards()
+        self.health.shards_total = len(shards)
+
+        results: Dict[int, dict] = {}
+        if resume:
+            known = {s.shard_id for s in shards}
+            results = {
+                sid: res
+                for sid, res in self.store.completed().items()
+                if sid in known
+            }
+            self.health.shards_resumed = len(results)
+            if results:
+                self._log(
+                    f"resuming: {len(results)} shard(s) already checkpointed"
+                )
+
+        quarantined: Dict[int, str] = {}
+        pending: List[_ShardState] = [
+            _ShardState(spec=s) for s in shards if s.shard_id not in results
+        ]
+        running: List[_ShardState] = []
+
+        try:
+            while pending or running:
+                if self.stop_requested:
+                    raise FleetInterrupted(
+                        f"stopped with {len(results)} shard(s) checkpointed; "
+                        "rerun with --resume to finish"
+                    )
+                now = time.monotonic()
+                # Launch what we can.
+                launchable = [s for s in pending if s.not_before <= now]
+                while launchable and len(running) < self.jobs:
+                    state = launchable.pop(0)
+                    pending.remove(state)
+                    self._launch(state)
+                    running.append(state)
+                # Poll what runs.
+                for state in list(running):
+                    worker = state.worker
+                    assert worker is not None
+                    code = worker.poll()
+                    if code is None:
+                        reason = worker.expired(now)
+                        if reason is None:
+                            continue
+                        worker.kill()
+                        if "heartbeat" in reason:
+                            self.health.heartbeat_timeouts += 1
+                        else:
+                            self.health.worker_timeouts += 1
+                        running.remove(state)
+                        verdict = self._fail(state, reason)
+                        if verdict is None:
+                            pending.append(state)
+                        else:
+                            quarantined[state.spec.shard_id] = verdict
+                            self.health.quarantined += 1
+                        continue
+                    running.remove(state)
+                    if code == 0:
+                        result = self._harvest(state)
+                        if result is not None:
+                            self.store.commit(state.spec.shard_id, result)
+                            results[state.spec.shard_id] = result
+                            self.health.shards_completed += 1
+                            self.health.record(
+                                state.spec.shard_id, state.attempt, "completed"
+                            )
+                            self._log(
+                                f"shard {state.spec.shard_id}: completed "
+                                f"(attempt {state.attempt})"
+                            )
+                            continue
+                        code_desc = "exit 0 with bad result"
+                    else:
+                        self.health.worker_crashes += 1
+                        code_desc = f"worker exited {code}"
+                    verdict = self._fail(state, code_desc)
+                    if verdict is None:
+                        pending.append(state)
+                    else:
+                        quarantined[state.spec.shard_id] = verdict
+                        self.health.quarantined += 1
+                if pending or running:
+                    time.sleep(POLL_INTERVAL)
+        except FleetInterrupted:
+            self.health.interrupted = 1
+            self.health.record(-1, 0, "interrupted")
+            raise
+        finally:
+            for state in running:
+                if state.worker is not None:
+                    state.worker.kill()
+        return results, quarantined

@@ -1,0 +1,98 @@
+"""The shard worker: ``python -m repro.fleet.worker``.
+
+One worker process runs one shard attempt.  Protocol with the
+supervisor:
+
+* ``--spec`` — the :class:`~repro.fleet.plan.ShardSpec` JSON to run;
+* ``--out`` — where to write the result; written atomically (tmp +
+  rename), so the supervisor can trust any file that exists;
+* ``--heartbeat`` — touched after every completed device; a wedged
+  worker stops touching it and the supervisor's staleness check fires.
+
+Exit status: 0 with a result file on success; anything else is a
+crash the supervisor will retry (the result file, if any, is ignored).
+
+**Chaos hooks** (tests and the CI smoke job only): when
+``REPRO_FLEET_CHAOS`` names a directory, the worker looks for token
+files before running:
+
+* ``crash-<shard>``  — consume the token, then die with exit 17
+  (*fail once*: the retry will find no token and succeed);
+* ``hang-<shard>``   — consume the token, then sleep forever without
+  heartbeating (the supervisor's timeout must kill us);
+* ``stubborn-<shard>`` — die with exit 21 and *leave the token*, so
+  every retry fails too and the shard ends up quarantined.
+
+The hooks live in the worker, not the supervisor, precisely so the
+supervision machinery under test is the production code path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from .plan import ShardSpec
+from .shard import run_shard
+
+CRASH_EXIT = 17
+STUBBORN_EXIT = 21
+
+
+def _chaos(shard_id: int) -> None:
+    chaos_dir = os.environ.get("REPRO_FLEET_CHAOS")
+    if not chaos_dir:
+        return
+    stubborn = os.path.join(chaos_dir, f"stubborn-{shard_id}")
+    if os.path.exists(stubborn):
+        print(f"chaos: shard {shard_id} failing persistently", file=sys.stderr)
+        raise SystemExit(STUBBORN_EXIT)
+    crash = os.path.join(chaos_dir, f"crash-{shard_id}")
+    if os.path.exists(crash):
+        os.unlink(crash)  # fail once; the retry finds no token
+        print(f"chaos: shard {shard_id} crashing (once)", file=sys.stderr)
+        raise SystemExit(CRASH_EXIT)
+    hang = os.path.join(chaos_dir, f"hang-{shard_id}")
+    if os.path.exists(hang):
+        os.unlink(hang)
+        print(f"chaos: shard {shard_id} hanging (once)", file=sys.stderr)
+        while True:  # no heartbeat, no exit: only a kill ends this
+            time.sleep(3600)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--spec", required=True, help="ShardSpec JSON path")
+    parser.add_argument("--out", required=True, help="result JSON path")
+    parser.add_argument("--heartbeat", default=None, help="heartbeat file")
+    args = parser.parse_args(argv)
+
+    with open(args.spec) as fh:
+        spec = ShardSpec.from_dict(json.load(fh))
+
+    _chaos(spec.shard_id)
+
+    def beat(device_id: int) -> None:
+        if args.heartbeat is None:
+            return
+        tmp = args.heartbeat + ".tmp"
+        with open(tmp, "w") as fh:
+            fh.write(f"device {device_id}\n")
+        os.replace(tmp, args.heartbeat)
+
+    result = run_shard(spec, heartbeat=beat)
+
+    tmp = args.out + ".tmp"
+    with open(tmp, "w") as fh:
+        json.dump(result, fh, sort_keys=True)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,6 +24,7 @@ exact code path.
 from __future__ import annotations
 
 from .export import export_trace, spans_to_trace_events, write_trace
+from .fleet import FleetHealthStats, register_fleet_health
 from .profile import (
     CycleAttributor,
     PCProfiler,
@@ -43,6 +44,7 @@ __all__ = [
     "Counter",
     "CycleAttributor",
     "DEFAULT_RING_CAPACITY",
+    "FleetHealthStats",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -52,6 +54,7 @@ __all__ = [
     "SpanTracer",
     "Telemetry",
     "export_trace",
+    "register_fleet_health",
     "render_attribution",
     "render_hot_pcs",
     "spans_to_trace_events",

@@ -1,0 +1,68 @@
+"""Fleet-orchestrator health as a metrics-registry source.
+
+The fleet supervisor's interventions — launches, crashes, timeouts,
+retries, quarantines — are *host-side* events: they depend on wall
+clocks and process scheduling, so they must never appear in the
+byte-stable fleet report.  They still deserve first-class telemetry,
+so they live here as a numeric stats dataclass that
+:meth:`~repro.obs.registry.MetricsRegistry.register_source` harvests
+like every other subsystem's counters, plus the event list the
+harvester ignores (non-numeric fields are not metrics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from .registry import MetricsRegistry
+
+
+@dataclass
+class FleetHealthStats:
+    """Everything the supervisor did to keep the fleet alive."""
+
+    shards_total: int = 0
+    #: Shards whose results came from a previous run's checkpoints.
+    shards_resumed: int = 0
+    shards_completed: int = 0
+    worker_launches: int = 0
+    worker_crashes: int = 0
+    worker_timeouts: int = 0
+    heartbeat_timeouts: int = 0
+    retries: int = 0
+    quarantined: int = 0
+    #: 1 if the run was stopped by SIGTERM/SIGINT before completing.
+    interrupted: int = 0
+    #: ``(shard_id, attempt, event)`` log — not a metric, kept for
+    #: diagnostics and the health report.
+    events: List[Tuple[int, int, str]] = field(default_factory=list)
+
+    def record(self, shard_id: int, attempt: int, event: str) -> None:
+        self.events.append((shard_id, attempt, event))
+
+    def to_dict(self) -> dict:
+        """The health report payload (events included)."""
+        return {
+            "shards_total": self.shards_total,
+            "shards_resumed": self.shards_resumed,
+            "shards_completed": self.shards_completed,
+            "worker_launches": self.worker_launches,
+            "worker_crashes": self.worker_crashes,
+            "worker_timeouts": self.worker_timeouts,
+            "heartbeat_timeouts": self.heartbeat_timeouts,
+            "retries": self.retries,
+            "quarantined": self.quarantined,
+            "interrupted": self.interrupted,
+            "events": [
+                {"shard": s, "attempt": a, "event": e}
+                for s, a, e in self.events
+            ],
+        }
+
+
+def register_fleet_health(
+    registry: MetricsRegistry, stats: FleetHealthStats
+) -> None:
+    """Expose the supervisor's counters under the ``fleet`` group."""
+    registry.register_source("fleet", stats, replace=True)

@@ -1,0 +1,126 @@
+"""Checkpoint store semantics and the seeded retry schedule."""
+
+import json
+import os
+
+import pytest
+
+from repro.fleet import CheckpointStore, FleetPlan, RetryPolicy
+from repro.fleet.checkpoint import CheckpointError
+
+PLAN = FleetPlan(devices=4, shard_size=2)
+
+
+class TestCheckpointStore:
+    def test_commit_then_completed_round_trips(self, tmp_path):
+        store = CheckpointStore(str(tmp_path / "ckpt"))
+        store.bind(PLAN, resume=False)
+        store.commit(1, {"shard": 1, "devices": []})
+        store.commit(0, {"shard": 0, "devices": []})
+        assert set(store.completed()) == {0, 1}
+        assert store.completed()[1]["shard"] == 1
+
+    def test_commit_is_atomic_no_tmp_left_behind(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        store.bind(PLAN, resume=False)
+        store.commit(0, {"shard": 0})
+        names = os.listdir(str(tmp_path))
+        assert "shard-0000.json" in names
+        assert not any(n.endswith(".tmp") for n in names)
+
+    def test_fresh_bind_clears_stale_shards(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        store.bind(PLAN, resume=False)
+        store.commit(0, {"shard": 0})
+        store.bind(PLAN, resume=False)  # a fresh run, same plan
+        assert store.completed() == {}
+
+    def test_resume_bind_keeps_committed_shards(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        store.bind(PLAN, resume=False)
+        store.commit(0, {"shard": 0})
+        store.bind(PLAN, resume=True)
+        assert set(store.completed()) == {0}
+
+    def test_resume_against_a_different_plan_is_refused(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        store.bind(PLAN, resume=False)
+        other = FleetPlan(devices=6, shard_size=2)
+        with pytest.raises(CheckpointError) as excinfo:
+            store.bind(other, resume=True)
+        message = str(excinfo.value)
+        assert PLAN.fingerprint() in message
+        assert other.fingerprint() in message
+
+    def test_fresh_bind_against_a_different_plan_starts_over(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        store.bind(PLAN, resume=False)
+        store.commit(0, {"shard": 0})
+        store.bind(FleetPlan(devices=6, shard_size=2), resume=False)
+        assert store.completed() == {}
+
+    def test_malformed_shard_file_is_dropped_not_trusted(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        store.bind(PLAN, resume=False)
+        store.commit(0, {"shard": 0})
+        with open(store.shard_path(1), "w") as fh:
+            fh.write("{truncated")
+        assert set(store.completed()) == {0}
+        assert not os.path.exists(store.shard_path(1))
+
+    def test_corrupt_manifest_raises(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        with open(store.manifest_path, "w") as fh:
+            fh.write("not json")
+        with pytest.raises(CheckpointError):
+            store.bind(PLAN, resume=True)
+
+    def test_manifest_records_the_plan(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        store.bind(PLAN, resume=False)
+        with open(store.manifest_path) as fh:
+            manifest = json.load(fh)
+        assert manifest["fingerprint"] == PLAN.fingerprint()
+        assert FleetPlan.from_dict(manifest["plan"]) == PLAN
+
+
+class TestRetryPolicy:
+    def test_attempt_budget(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert [policy.allows(n) for n in (1, 2, 3, 4)] == [
+            True, True, True, False,
+        ]
+
+    def test_first_attempt_is_free(self):
+        assert RetryPolicy().delay(shard_id=0, attempt=1) == 0.0
+
+    def test_schedule_is_deterministic(self):
+        a = RetryPolicy(seed=42)
+        b = RetryPolicy(seed=42)
+        schedule = [a.delay(3, n) for n in (2, 3, 4)]
+        assert schedule == [b.delay(3, n) for n in (2, 3, 4)]
+
+    def test_delays_grow_exponentially_within_jitter_band(self):
+        policy = RetryPolicy(
+            max_attempts=6, base_delay=0.1, factor=2.0, max_delay=10.0, seed=7
+        )
+        for attempt in range(2, 7):
+            cap = min(10.0, 0.1 * 2.0 ** (attempt - 2))
+            delay = policy.delay(0, attempt)
+            assert cap * 0.5 <= delay <= cap
+
+    def test_ceiling_is_respected(self):
+        policy = RetryPolicy(
+            max_attempts=20, base_delay=1.0, factor=10.0, max_delay=2.0
+        )
+        assert policy.delay(0, 10) <= 2.0
+
+    def test_shards_are_decorrelated(self):
+        policy = RetryPolicy(seed=1)
+        assert policy.delay(0, 2) != policy.delay(1, 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=5.0, max_delay=1.0)

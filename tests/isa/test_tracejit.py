@@ -185,6 +185,43 @@ class TestGuardBail:
         assert jit == ref
 
 
+class TestRecoveryResume:
+    """A guard bail leaves the CPU consistent enough to *resume*.
+
+    The recovery machinery (compartment RETRY handlers, the executive's
+    watchdog) re-drives a CPU after a fault; that only works if a trap
+    thrown out of compiled code leaves pc and registers exactly where
+    the interpreter would.  Repair the faulting capability at the trap
+    point, continue the run, and the completed state must be
+    bit-identical across tiers.
+    """
+
+    SOURCE = TestGuardBail.SOURCE
+
+    def _fault_repair_resume(self, **kwargs):
+        cpu = _make_cpu(self.SOURCE, **kwargs)
+        roots = make_roots()
+        cpu.regs.write(
+            9, roots.memory.set_address(DATA_BASE).set_bounds(DATA_SIZE)
+        )
+        with pytest.raises(Trap):
+            cpu.run()
+        # The handler's repair: a fresh buffer wide enough to finish.
+        cpu.regs.write(
+            9, roots.memory.set_address(DATA_BASE).set_bounds(0x1000)
+        )
+        cpu.run()
+        stats = tuple(getattr(cpu.stats, f.name) for f in fields(cpu.stats))
+        return cpu, (cpu.regs.snapshot(), stats, cpu.pc, cpu.timing.cycles)
+
+    def test_resume_after_mid_trace_fault_matches_interpreter(self):
+        ref_cpu, ref = self._fault_repair_resume(trace_jit=False)
+        jit_cpu, jit = self._fault_repair_resume(jit_threshold=2)
+        assert jit_cpu.jit_stats.guard_bails >= 1
+        assert jit_cpu.halted and ref_cpu.halted
+        assert jit == ref
+
+
 class TestInvalidation:
     SOURCE = """
         li t0, 60

@@ -15,7 +15,11 @@ Re-runs a short campaign with the baseline's seed and enforces:
   (beyond a small tolerance for the different sample size);
 * the committed baseline itself must record zero escapes.
 
-Exit status 1 on any violation.
+Every violation message carries what a debugging session needs: the
+fault class, the campaign seed, and the exact single-injection
+``fault_campaign.py --reproduce`` command that replays the failure.
+
+Exit status 1 on any violation, 2 on an unusable baseline.
 """
 
 from __future__ import annotations
@@ -30,6 +34,10 @@ sys.path.insert(
 )
 
 from repro.faultinject import run_campaign  # noqa: E402
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from fault_campaign import print_escape, reproduce_command  # noqa: E402
 
 
 def main(argv=None) -> int:
@@ -60,6 +68,16 @@ def main(argv=None) -> int:
         print(f"cannot read baseline {args.baseline!r}: {exc}", file=sys.stderr)
         return 2
 
+    try:
+        seed = baseline["seed"]
+    except KeyError:
+        print(
+            f"baseline {args.baseline!r} has no 'seed' field; regenerate "
+            "with: PYTHONPATH=src python tools/fault_campaign.py",
+            file=sys.stderr,
+        )
+        return 2
+
     failed = False
     base_escaped = baseline.get("outcomes", {}).get("escaped")
     if base_escaped != 0:
@@ -67,21 +85,26 @@ def main(argv=None) -> int:
             f"baseline records {base_escaped} escaped injections (must be 0)",
             file=sys.stderr,
         )
+        for entry in baseline.get("escaped", []):
+            print(
+                f"  baseline escape #{entry.get('index')} "
+                f"[fault class {entry.get('fault_class')}, seed {seed}] "
+                f"{entry.get('scenario')}\n"
+                f"    replay: {reproduce_command(entry.get('index'), seed)}",
+                file=sys.stderr,
+            )
         failed = True
 
-    result = run_campaign(total=args.total, seed=baseline["seed"])
+    result = run_campaign(total=args.total, seed=seed)
     tally = result.tally()
     print(
-        f"  verification run ({args.total} injections, seed {baseline['seed']}): "
+        f"  verification run ({args.total} injections, seed {seed}): "
         f"{tally['masked']} masked, {tally['detected']} detected, "
         f"{tally['contained']} contained, {tally['escaped']} escaped"
     )
     if result.escaped:
         for record in result.escaped:
-            print(
-                f"  ESCAPED #{record.index} {record.scenario}: {record.detail}",
-                file=sys.stderr,
-            )
+            print_escape(record, seed)
         failed = True
 
     base_rate = baseline.get("detection_rate", 1.0)
@@ -91,7 +114,26 @@ def main(argv=None) -> int:
         f"(tolerance {args.tolerance})"
     )
     if rate < base_rate - args.tolerance:
-        print("detection rate regressed", file=sys.stderr)
+        print(
+            f"detection rate regressed: {rate:.4f} < "
+            f"{base_rate:.4f} - {args.tolerance}",
+            file=sys.stderr,
+        )
+        by_class = result.tally_by_class()
+        for fault_class in sorted(by_class):
+            counts = by_class[fault_class]
+            activated = sum(
+                counts[k] for k in ("detected", "contained", "escaped")
+            )
+            stopped = counts["detected"] + counts["contained"]
+            if activated and stopped < activated:
+                print(
+                    f"  fault class {fault_class}: {stopped}/{activated} "
+                    f"activated faults stopped (seed {seed}) — inspect "
+                    f"individual injections with: "
+                    f"{reproduce_command('INDEX', seed)}",
+                    file=sys.stderr,
+                )
         failed = True
 
     if failed:

@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""CI gate: the committed fleet report must be reproducible, bit-exact.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python tools/check_fleet_regression.py \
+        [--baseline BENCH_fleet.json]
+
+Reads the committed ``BENCH_fleet.json``, re-runs its recorded plan
+serially in-process (the reference execution: no workers, no
+supervision), and compares the rendered reports **byte for byte** —
+the whole determinism contract in one assert.  On mismatch the diff is
+decoded into something actionable: which device, which metric group,
+and the exact command that reproduces the single device.
+
+The gate also enforces the fleet-level safety claims on the baseline
+itself: zero escaped injections and zero degraded shards — a baseline
+refreshed from a degraded run must not be committable.
+
+Exit status 1 on any violation, 2 on an unusable baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.fleet import FleetPlan, merge_report, render_report, run_shard  # noqa: E402
+from repro.fleet.merge import REPORT_VERSION  # noqa: E402
+
+
+def _first_divergence(base: dict, fresh: dict, path: str = "") -> str:
+    """A human-oriented account of where two report dicts part ways."""
+    if isinstance(base, dict) and isinstance(fresh, dict):
+        for key in sorted(set(base) | set(fresh)):
+            here = f"{path}.{key}" if path else str(key)
+            if key not in base:
+                return f"{here}: only in fresh run"
+            if key not in fresh:
+                return f"{here}: only in baseline"
+            found = _first_divergence(base[key], fresh[key], here)
+            if found:
+                return found
+        return ""
+    if isinstance(base, list) and isinstance(fresh, list):
+        for i, (b, f) in enumerate(zip(base, fresh)):
+            found = _first_divergence(b, f, f"{path}[{i}]")
+            if found:
+                return found
+        if len(base) != len(fresh):
+            return f"{path}: length {len(base)} vs {len(fresh)}"
+        return ""
+    if base != fresh:
+        return f"{path}: baseline {base!r}, fresh run {fresh!r}"
+    return ""
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", default="BENCH_fleet.json")
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read baseline {args.baseline!r}: {exc}", file=sys.stderr)
+        print(
+            "regenerate it with: make fleet  "
+            "(PYTHONPATH=src python tools/fleet_campaign.py --serial)",
+            file=sys.stderr,
+        )
+        return 2
+
+    if baseline.get("version") != REPORT_VERSION:
+        print(
+            f"baseline schema version {baseline.get('version')} != "
+            f"{REPORT_VERSION}; regenerate with make fleet",
+            file=sys.stderr,
+        )
+        return 2
+
+    failed = False
+    escaped = baseline.get("aggregates", {}).get("faults", {}).get("escaped")
+    if escaped != 0:
+        print(
+            f"baseline records {escaped} escaped injections (must be 0)",
+            file=sys.stderr,
+        )
+        failed = True
+    if baseline.get("degraded"):
+        shards = [e.get("shard") for e in baseline["degraded"]]
+        print(
+            f"baseline was produced by a degraded run (quarantined shards "
+            f"{shards}); rerun the fleet cleanly before committing",
+            file=sys.stderr,
+        )
+        failed = True
+
+    try:
+        plan = FleetPlan.from_dict(baseline["plan"])
+    except (KeyError, TypeError) as exc:
+        print(f"baseline plan unreadable: {exc}", file=sys.stderr)
+        return 2
+
+    print(
+        f"  re-running fleet plan serially: {plan.devices} devices, "
+        f"seed {plan.seed}, {plan.injections_per_device} injections/device"
+    )
+    results = {spec.shard_id: run_shard(spec) for spec in plan.shards()}
+    fresh = merge_report(plan, results, {})
+
+    if render_report(fresh) != render_report(baseline):
+        where = _first_divergence(baseline, fresh) or "(byte-level only)"
+        print(f"fleet report drifted at: {where}", file=sys.stderr)
+        device = where.split("devices[", 1)
+        hint = ""
+        if len(device) == 2:
+            index = device[1].split("]", 1)[0]
+            try:
+                dev_id = fresh["devices"][int(index)]["device"]
+                hint = (
+                    f"\n  single-device reproduction: PYTHONPATH=src python -c "
+                    f"\"from repro.fleet import DeviceSpec, run_device; "
+                    f"import json; print(json.dumps(run_device(DeviceSpec("
+                    f"{dev_id}, {plan.seed}, injections={plan.injections_per_device}, "
+                    f"alloc_ops={plan.alloc_ops})), indent=2, sort_keys=True))\""
+                )
+            except (ValueError, IndexError, KeyError):
+                pass
+        print(
+            "if the change is intentional, refresh the baseline with: "
+            "make fleet" + hint,
+            file=sys.stderr,
+        )
+        failed = True
+
+    if failed:
+        print("fleet regression detected", file=sys.stderr)
+        return 1
+    print("fleet report reproduces byte-identically; claims hold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

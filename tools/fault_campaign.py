@@ -13,7 +13,15 @@ deterministic for a given ``(seed, total)`` pair — no timestamps, no
 environment — so the committed file is bit-reproducible.
 
 ``--check`` additionally exits non-zero if any injection escaped, so
-the runner doubles as a gate.
+the runner doubles as a gate.  Every escape is reported with its fault
+class, the campaign seed, and a one-line ``--reproduce`` command that
+replays exactly that injection.
+
+``--reproduce INDEX`` replays a single injection from the seeded
+stream (the campaign is deterministic, so injection *k* of a
+``(seed, total)`` campaign is injection *k* of any campaign with the
+same seed and ``total > k``) and prints the full record — the
+debugging entry point the escape messages hand you.
 """
 
 from __future__ import annotations
@@ -31,6 +39,44 @@ from repro.faultinject import run_campaign  # noqa: E402
 from repro.faultinject.campaign import DEFAULT_SEED  # noqa: E402
 
 CAMPAIGN_SIZES = {"short": 750, "full": 10_000}
+
+
+def reproduce_command(index: int, seed: int) -> str:
+    """The exact command that replays injection ``index`` alone."""
+    return (
+        f"PYTHONPATH=src python tools/fault_campaign.py "
+        f"--reproduce {index} --seed {seed}"
+    )
+
+
+def print_escape(record, seed: int, out=sys.stderr) -> None:
+    """One actionable block per escaped injection."""
+    print(
+        f"ESCAPED injection #{record.index} "
+        f"[fault class {record.fault_class.value}, seed {seed}]\n"
+        f"  scenario: {record.scenario}\n"
+        f"  detail:   {record.detail or '(none)'}\n"
+        f"  replay:   {reproduce_command(record.index, seed)}",
+        file=out,
+    )
+
+
+def reproduce(index: int, seed: int) -> int:
+    """Replay injection ``index`` of the seeded stream and print it."""
+    if index < 0:
+        print("--reproduce index must be >= 0", file=sys.stderr)
+        return 2
+    result = run_campaign(total=index + 1, seed=seed)
+    record = result.records[index]
+    print(
+        f"injection #{record.index} (seed {seed})\n"
+        f"  fault class:  {record.fault_class.value}\n"
+        f"  scenario:     {record.scenario}\n"
+        f"  outcome:      {record.outcome.value}\n"
+        f"  detail:       {record.detail or '(none)'}\n"
+        f"  wrong result: {record.wrong_result}"
+    )
+    return 1 if record.outcome.value == "escaped" else 0
 
 
 def main(argv=None) -> int:
@@ -63,7 +109,18 @@ def main(argv=None) -> int:
         action="store_true",
         help="exit 1 if any injection escaped",
     )
+    parser.add_argument(
+        "--reproduce",
+        type=int,
+        default=None,
+        metavar="INDEX",
+        help="replay a single injection from the seeded stream and "
+        "print its full record (exit 1 if it escapes)",
+    )
     args = parser.parse_args(argv)
+
+    if args.reproduce is not None:
+        return reproduce(args.reproduce, args.seed)
 
     total = args.total if args.total is not None else CAMPAIGN_SIZES[args.campaign]
 
@@ -87,10 +144,7 @@ def main(argv=None) -> int:
     )
     if args.check and result.escaped:
         for record in result.escaped:
-            print(
-                f"ESCAPED #{record.index} {record.scenario}: {record.detail}",
-                file=sys.stderr,
-            )
+            print_escape(record, args.seed)
         return 1
     return 0
 

@@ -4,14 +4,23 @@
 Usage (from the repository root)::
 
     PYTHONPATH=src python tools/run_benchmarks.py [-j N] [-o FILE]
+        [--timeout SECONDS]
         [--modules bench_table3_coremark,bench_table4_alloc]
 
-Each benchmark module runs in its own subprocess (worker-per-benchmark)
-with ``PYTHONHASHSEED=0`` and its tables redirected to a private file
-via ``REPRO_BENCH_TABLES``; the merged ``bench_output_tables.txt`` is
-assembled in sorted module order after every worker finishes.  The
-output is therefore *byte-identical* for any ``--jobs`` value — there
-is no wall-clock-dependent interleaving and no timestamp in the file.
+Each benchmark module runs in its own supervised subprocess
+(worker-per-benchmark) with ``PYTHONHASHSEED=0`` and its tables
+redirected to a private file via ``REPRO_BENCH_TABLES``; the merged
+``bench_output_tables.txt`` is assembled in sorted module order after
+every worker finishes.  The output is therefore *byte-identical* for
+any ``--jobs`` value — there is no wall-clock-dependent interleaving
+and no timestamp in the file.
+
+Worker supervision (shared with the fleet orchestrator,
+:mod:`repro.fleet.procutil`): every module gets a wall-clock deadline
+— a wedged benchmark is killed and reported instead of hanging the
+suite forever — and a failing module's stderr/stdout tail is printed
+under its name with a one-line rerun command, instead of a bare
+interleaved dump.
 
 ``bench_simspeed.py`` is excluded from the merge: its output is host
 wall-clock (non-deterministic by nature).  Use ``tools/bench_speed.py``
@@ -23,16 +32,24 @@ from __future__ import annotations
 import argparse
 import concurrent.futures
 import os
-import subprocess
 import sys
 import tempfile
 
 ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 BENCH_DIR = os.path.join(ROOT, "benchmarks")
 
+sys.path.insert(0, os.path.join(ROOT, "src"))
+
+from repro.fleet.procutil import SupervisedResult, run_supervised, tail  # noqa: E402
+
 #: Never merged into the tables file — host-timing output changes run
 #: to run, which would break the serial/parallel byte-identity contract.
 EXCLUDED = frozenset({"bench_simspeed.py"})
+
+#: Default per-module wall-clock budget.  The slowest module finishes
+#: in well under a minute on CI's weakest runner; anything past this is
+#: a hang, not a slow benchmark.
+DEFAULT_TIMEOUT = 900.0
 
 
 def discover_modules() -> list:
@@ -46,7 +63,9 @@ def discover_modules() -> list:
     return sorted(names)
 
 
-def run_module(module: str, tables_path: str) -> subprocess.CompletedProcess:
+def run_module(
+    module: str, tables_path: str, timeout: float
+) -> SupervisedResult:
     env = dict(os.environ)
     env["PYTHONHASHSEED"] = "0"
     env["REPRO_BENCH_TABLES"] = tables_path
@@ -61,7 +80,30 @@ def run_module(module: str, tables_path: str) -> subprocess.CompletedProcess:
         "-p",
         "no:cacheprovider",
     ]
-    return subprocess.run(cmd, cwd=ROOT, env=env, capture_output=True, text=True)
+    return run_supervised(cmd, timeout=timeout, env=env, cwd=ROOT)
+
+
+def report_failure(module: str, result: SupervisedResult) -> None:
+    """One readable block per failed module, not a raw dump."""
+    if result.timed_out:
+        headline = (
+            f"TIMED OUT after {result.duration:.0f}s and was killed "
+            "(raise --timeout if this host is genuinely that slow)"
+        )
+    else:
+        headline = f"FAILED (exit {result.returncode})"
+    print(f"\n{module}: {headline}", file=sys.stderr)
+    for stream, text in (("stdout", result.stdout), ("stderr", result.stderr)):
+        excerpt = tail(text, 25)
+        if excerpt.strip():
+            print(f"  --- {stream} tail ---", file=sys.stderr)
+            for line in excerpt.splitlines():
+                print(f"  {line}", file=sys.stderr)
+    print(
+        f"  reproduce alone: PYTHONPATH=src {os.path.basename(sys.executable)}"
+        f" -m pytest benchmarks/{module} -q",
+        file=sys.stderr,
+    )
 
 
 def main(argv=None) -> int:
@@ -78,6 +120,12 @@ def main(argv=None) -> int:
         "--output",
         default="bench_output_tables.txt",
         help="merged tables file (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=DEFAULT_TIMEOUT,
+        help="per-module wall-clock timeout in seconds (default: %(default)s)",
     )
     parser.add_argument(
         "--modules",
@@ -103,25 +151,35 @@ def main(argv=None) -> int:
     jobs = max(1, args.jobs)
     print(f"running {len(modules)} benchmark modules with {jobs} worker(s)")
 
-    failed = False
+    failures = {}
     with tempfile.TemporaryDirectory(prefix="bench-tables-") as tmpdir:
         tables = {m: os.path.join(tmpdir, m + ".tables") for m in modules}
         with concurrent.futures.ThreadPoolExecutor(max_workers=jobs) as pool:
             futures = {
-                pool.submit(run_module, m, tables[m]): m for m in modules
+                pool.submit(run_module, m, tables[m], args.timeout): m
+                for m in modules
             }
             for future in concurrent.futures.as_completed(futures):
                 module = futures[future]
-                proc = future.result()
-                status = "ok" if proc.returncode == 0 else "FAILED"
+                result = future.result()
+                if result.ok:
+                    status = "ok"
+                elif result.timed_out:
+                    status = "TIMED OUT"
+                else:
+                    status = f"FAILED (exit {result.returncode})"
                 print(f"  {module:<32} {status}")
-                if proc.returncode != 0:
-                    failed = True
-                    sys.stderr.write(proc.stdout)
-                    sys.stderr.write(proc.stderr)
+                if not result.ok:
+                    failures[module] = result
 
-        if failed:
-            print("benchmark suite failed; tables not written", file=sys.stderr)
+        if failures:
+            for module in sorted(failures):
+                report_failure(module, failures[module])
+            print(
+                f"\n{len(failures)} of {len(modules)} benchmark module(s) "
+                "failed; tables not written",
+                file=sys.stderr,
+            )
             return 1
 
         # Deterministic merge: fixed header, then each module's tables in
