@@ -13,14 +13,34 @@ PARALLEL ?= 1
 ## Worker processes for `make fleet` (one shard per worker).
 FLEET_JOBS ?= 2
 
-.PHONY: test ci bench bench-speed bench-check faults faults-check \
-	fleet fleet-check profile trace
+## Worker processes for `make audit` (one image verification per worker).
+AUDIT_JOBS ?= 2
 
-test: faults-check bench-check fleet-check
+.PHONY: test ci bench bench-speed bench-check faults faults-check \
+	fleet fleet-check profile trace lint audit audit-refresh
+
+test: lint faults-check bench-check fleet-check audit
 	$(PYTHON) -m pytest -x -q
 
 ## What CI runs: the regression gates plus the full test suite.
 ci: test
+
+## AST lint: no wall-clock reads, unseeded RNG, or unordered iteration
+## in the modules that produce byte-reproducible artifacts.
+lint:
+	$(PYTHON) tools/lint_determinism.py
+
+## CI gate: statically verify every audited image (zero capability
+## violations), evaluate the linkage policy, cross-check against the
+## code-splice mutants, and fail on any drift from AUDIT_baseline.json.
+## Byte-identical for any AUDIT_JOBS value.
+audit:
+	$(PYTHON) tools/capaudit.py --check --jobs $(AUDIT_JOBS)
+
+## Refresh the committed AUDIT_baseline.json after an intentional
+## change to the verifier, the images, or the policy.
+audit-refresh:
+	$(PYTHON) tools/capaudit.py --output AUDIT_baseline.json --jobs $(AUDIT_JOBS)
 
 ## Regenerate bench_output_tables.txt (byte-identical for any PARALLEL).
 bench:

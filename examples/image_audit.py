@@ -12,16 +12,27 @@ Run with::
     python examples/image_audit.py
 """
 
+import json
+import os
+
 from repro.allocator import TemporalSafetyMode
 from repro.iot.app import IoTApplication
 from repro.pipeline import CoreKind
 from repro.rtos import audit_image
+from repro.verify import evaluate_policy
+
+_POLICY = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "AUDIT_policy.json",
+)
 
 
 def main() -> None:
     print("building the IoT firmware image...\n")
     app = IoTApplication(core=CoreKind.IBEX, mode=TemporalSafetyMode.HARDWARE)
-    report = audit_image(app.system.switcher)
+    report = audit_image(
+        app.system.switcher, app.system.loader.memory_map
+    )
     print(report.render())
 
     print("\nwhat the auditor concludes:")
@@ -33,10 +44,30 @@ def main() -> None:
         print("  - NO code in this image can run with interrupts disabled;")
         print("    worst-case interrupt latency is one instruction plus the")
         print("    revoker batch, regardless of what any compartment does.")
-    grants = report.grants.get("alloc", [])
-    print(f"  - only the allocator holds device windows: {', '.join(grants)}")
+    windows = [
+        f"{g.slot} ({g.kind})" for g in report.mmio_grants()
+    ]
+    print(f"  - only the allocator holds device windows: {', '.join(windows)}")
+    for imp in report.imports:
+        print(
+            f"  - {imp.importer} reaches {imp.exporter}.{imp.export} only "
+            f"through a sealed token (otype {imp.otype}) — it cannot forge"
+        )
+        print("    or retarget the entry point.")
     print("  - every other compartment's authority is its code, its globals,")
     print("    and whatever capabilities are passed to it at runtime.")
+
+    print("\nevaluating the signing policy (AUDIT_policy.json):")
+    with open(_POLICY) as fh:
+        policy = json.load(fh)
+    violations = evaluate_policy(report, policy)
+    if violations:
+        for violation in violations:
+            print(f"  FAIL {violation.rule}: {violation.subject}: "
+                  f"{violation.message}")
+    else:
+        print(f"  all {len(policy['rules'])} rules hold — the image is "
+              "signable under this policy.")
 
 
 if __name__ == "__main__":

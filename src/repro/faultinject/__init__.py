@@ -24,6 +24,7 @@ from .outcomes import CampaignResult, FaultClass, InjectionRecord, Outcome
 from .engine import FaultInjector
 from .monitor import InvariantMonitor, authority_subset
 from .campaign import run_campaign
+from .codesplice import SpliceError, SpliceVariant, splice
 
 __all__ = [
     "CampaignResult",
@@ -32,6 +33,9 @@ __all__ = [
     "InjectionRecord",
     "InvariantMonitor",
     "Outcome",
+    "SpliceError",
+    "SpliceVariant",
     "authority_subset",
     "run_campaign",
+    "splice",
 ]

@@ -1,0 +1,63 @@
+"""Code-splice mutation: adversarial edits to guest *code*.
+
+The other fault classes corrupt state (tags, metadata, registers); a
+code splice corrupts the *program* — the attacker (or a wild write that
+survived into the image) replaced an instruction.  Because the guest
+ISA is structural assembly, a splice is a textual line substitution
+followed by re-assembly: labels re-resolve, so a splice can also insert
+or delete instructions without invalidating control flow elsewhere.
+
+This is the mutation primitive the static/dynamic cross-validation
+harness (:mod:`repro.verify.crosscheck`) drives: each
+:class:`SpliceVariant` names one adversarial edit, and the harness
+checks that the static verifier's verdict and the dynamic outcome agree
+on every one of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class SpliceError(Exception):
+    """The splice target does not occur (or is ambiguous) in the source."""
+
+
+@dataclass(frozen=True)
+class SpliceVariant:
+    """One named adversarial code edit."""
+
+    name: str
+    description: str
+    #: The exact source line (whitespace-stripped) to replace.
+    target: str
+    #: Replacement text — may be multiple lines, or ``nop`` to delete.
+    replacement: str
+
+    def apply(self, source: str) -> str:
+        return splice(source, self.target, self.replacement)
+
+
+def splice(source: str, target: str, replacement: str) -> str:
+    """Replace exactly one instruction line of ``source``.
+
+    ``target`` is matched against whitespace-stripped lines (comments
+    excluded); the match must be unique — a splice that silently hit
+    the wrong site would invalidate the cross-check's attribution.
+    """
+    lines = source.splitlines()
+    matches = [
+        i
+        for i, line in enumerate(lines)
+        if line.split("#", 1)[0].strip() == target
+    ]
+    if not matches:
+        raise SpliceError(f"splice target not found: {target!r}")
+    if len(matches) > 1:
+        raise SpliceError(
+            f"splice target ambiguous ({len(matches)} sites): {target!r}"
+        )
+    index = matches[0]
+    indent = lines[index][: len(lines[index]) - len(lines[index].lstrip())]
+    new_lines = [indent + part for part in replacement.splitlines()]
+    return "\n".join(lines[:index] + new_lines + lines[index + 1 :]) + "\n"

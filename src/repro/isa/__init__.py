@@ -3,7 +3,12 @@
 from .assembler import AssemblerError, Program, assemble
 from .blockcache import BlockCacheStats
 from .csr import CSRError, CSRFile, HWMState
-from .disassembler import disassemble, format_instruction
+from .disassembler import (
+    disassemble,
+    format_instruction,
+    instruction_to_source,
+    to_source,
+)
 from .exceptions import Trap, TrapCause, trap_from_capability_fault
 from .executor import CPU, ExecStats, ExecutionMode, Halted
 from .instructions import INSTRUCTION_SPECS, Instruction, InstructionSpec
@@ -50,6 +55,8 @@ __all__ = [
     "TrapCause",
     "assemble",
     "disassemble",
+    "instruction_to_source",
+    "to_source",
     "format_instruction",
     "register_index",
     "trap_from_capability_fault",

@@ -1,0 +1,187 @@
+"""Control-flow graphs over pre-decoded guest programs.
+
+Reuses the decode the simulator already performs: a
+:class:`~repro.isa.assembler.Program` holds structural
+:class:`~repro.isa.instructions.Instruction` values with label operands
+resolved to instruction indices, so block discovery needs no binary
+lifting.  Block boundaries follow the same classification the
+superblock translation cache uses (:mod:`repro.isa.blockcache`): an
+instruction whose timing class is fusable is straight-line by
+construction; everything else terminates a block.
+
+Successor edges:
+
+========== ========================================================
+terminator successors
+========== ========================================================
+branch      resolved target + fall-through
+``jal``/``j``  resolved target (the link, if any, is data flow)
+``jalr``/``ret`` none — indirect; the abstract interpreter checks the
+            target *value* at the site instead of following it
+``ecall``/``wfi``/CSR  fall-through (they return to the next PC)
+``halt``/``mret``  none
+========== ========================================================
+
+The CFG is built per *compartment span* — a contiguous index range of
+the image — so direct control transfers that leave the span are
+reported as ``cross_edges`` for the cross-compartment property check
+rather than silently followed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.isa.assembler import Program
+from repro.isa.blockcache import FUSABLE_MNEMONICS
+from repro.isa.instructions import BRANCH, INSTRUCTION_SPECS
+
+#: Indirect terminators (target is a register value, not a label).
+INDIRECT_JUMPS = frozenset(("jalr", "ret"))
+
+
+def _label_target(mnemonic: str, operands: tuple) -> Optional[int]:
+    """Resolved label operand of a direct branch/jump, if any."""
+    spec = INSTRUCTION_SPECS.get(mnemonic)
+    if spec is None:
+        return None
+    for kind, operand in zip(spec.kinds, operands):
+        if kind == "label":
+            return operand
+    return None
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line run ``[start, end)`` of the span."""
+
+    start: int
+    end: int
+    successors: Tuple[int, ...] = ()
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+
+@dataclass
+class ControlFlowGraph:
+    """Per-span CFG: blocks keyed by their start index."""
+
+    span_start: int
+    span_end: int
+    blocks: Dict[int, BasicBlock] = field(default_factory=dict)
+    entries: Tuple[int, ...] = ()
+    #: Direct control transfers leaving the span: (from_index, to_index).
+    cross_edges: List[Tuple[int, int]] = field(default_factory=list)
+    #: Indirect jump sites (jalr/ret) inside the span.
+    indirect_sites: List[int] = field(default_factory=list)
+
+    def block_at(self, index: int) -> BasicBlock:
+        return self.blocks[index]
+
+    @property
+    def edge_count(self) -> int:
+        return sum(len(b.successors) for b in self.blocks.values())
+
+    def reachable(self) -> Set[int]:
+        """Block starts reachable from the declared entries."""
+        seen: Set[int] = set()
+        work = [e for e in self.entries if e in self.blocks]
+        while work:
+            start = work.pop()
+            if start in seen:
+                continue
+            seen.add(start)
+            work.extend(
+                s for s in self.blocks[start].successors if s not in seen
+            )
+        return seen
+
+
+def build_cfg(
+    program: Program,
+    span: Tuple[int, int],
+    entries: Sequence[int],
+) -> ControlFlowGraph:
+    """Build the CFG of ``program[span[0]:span[1]]``.
+
+    ``entries`` are instruction indices (must lie in the span) where
+    control may enter — the span start plus any exported entry points.
+    """
+    lo, hi = span
+    instructions = program.instructions
+    hi = min(hi, len(instructions))
+
+    # Pass 1: leaders.  Every entry, every in-span direct target, and
+    # the instruction after any terminator.
+    leaders: Set[int] = {i for i in entries if lo <= i < hi}
+    cross_edges: List[Tuple[int, int]] = []
+    indirect_sites: List[int] = []
+    for index in range(lo, hi):
+        instr = instructions[index]
+        mnemonic = instr.mnemonic
+        if mnemonic in FUSABLE_MNEMONICS:
+            continue
+        target = _label_target(mnemonic, instr.operands)
+        if target is not None:
+            if lo <= target < hi:
+                leaders.add(target)
+            else:
+                cross_edges.append((index, target))
+        if mnemonic in INDIRECT_JUMPS:
+            indirect_sites.append(index)
+        # Every non-fusable instruction ends a block (matching the
+        # translation cache's boundaries); most still fall through.
+        if index + 1 < hi:
+            leaders.add(index + 1)
+
+    # Pass 2: blocks and successors.
+    cfg = ControlFlowGraph(
+        span_start=lo,
+        span_end=hi,
+        entries=tuple(sorted(i for i in entries if lo <= i < hi)),
+        cross_edges=cross_edges,
+        indirect_sites=sorted(indirect_sites),
+    )
+    for start in sorted(leaders):
+        end = start
+        while end < hi:
+            instr = instructions[end]
+            end += 1
+            if instr.mnemonic not in FUSABLE_MNEMONICS:
+                break
+            if end in leaders:
+                break
+        # Successors from the last instruction of the block.
+        last = instructions[end - 1]
+        mnemonic = last.mnemonic
+        spec = last._spec
+        timing = spec.timing_class if spec is not None else None
+        succ: List[int] = []
+        target = _label_target(mnemonic, last.operands)
+        if timing == BRANCH:
+            if target is not None and lo <= target < hi:
+                succ.append(target)
+            if end < hi:
+                succ.append(end)
+        elif mnemonic in ("jal", "j"):
+            if target is not None and lo <= target < hi:
+                succ.append(target)
+            if mnemonic == "jal" and last.operands[0] != 0 and end < hi:
+                # A direct call: the callee's return sentry lands back
+                # on the fall-through (a call-return edge, havocked by
+                # the interpreter).
+                succ.append(end)
+        elif mnemonic == "jalr" and last.operands and last.operands[0] != 0:
+            # A call: the callee's return sentry lands execution back on
+            # the fall-through.  The interpreter havocs registers along
+            # this edge (the callee may clobber anything).
+            if end < hi:
+                succ.append(end)
+        elif mnemonic in ("ret", "jalr", "halt", "mret"):
+            pass  # no static successors
+        elif end < hi:
+            succ.append(end)  # straight-line spill into the next leader
+        cfg.blocks[start] = BasicBlock(start, end, tuple(succ))
+    return cfg

@@ -1,0 +1,227 @@
+"""Static-vs-dynamic cross-validation (the falsifiability gate).
+
+The repo has two memory-safety oracles: the dynamic fault campaign
+(:mod:`repro.faultinject`) that *runs* damaged systems and watches for
+escapes, and the static verifier (:mod:`repro.verify.absint`) that
+*proves* properties of the image without running it.  If the two ever
+disagree in the dangerous direction — the verifier calls an image safe
+but the dynamic run escapes — one of them is wrong, and the paper's
+"statically auditable" claim is falsified.
+
+This harness drives a code-splice mutation set over a small guest
+program and checks the agreement on every variant:
+
+* every **dynamically escaping** mutant must be **statically flagged**
+  (a violation, not a mere obligation) — soundness of the claim;
+* statically *clean* mutants must run clean — no escapes among the
+  claimed-safe;
+* the static verdict may be strictly stronger (a flagged mutant the
+  dynamic run never traps on, e.g. a direct cross-compartment jump that
+  executes fine but breaks isolation) — that asymmetry is the point of
+  shipping an auditor.
+
+The output is deterministic and becomes part of ``AUDIT_baseline.json``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.capability import Permission as P, make_roots
+from repro.capability.errors import CapabilityError
+from repro.faultinject.codesplice import SpliceVariant
+from repro.isa import CPU, ExecutionMode, Trap, assemble
+from repro.memory import SystemBus, TaggedMemory
+
+from .absint import CompartmentSpan, ImageSpec, VerifyResult, verify_image
+from .domain import AbstractCap
+
+_CODE_BASE = 0x2000_0000
+_BUF_OFFSET = 0x8000
+_BUF_SIZE = 64
+_STASH_OFFSET = 0xA000
+_STACK_OFFSET = 0x9000
+_STACK_SIZE = 0x100
+
+#: The guest: narrow into a buffer, store/load, and one splice point.
+GUEST = """
+_start:
+    cincaddrimm t0, s0, 16
+    csetboundsimm t0, t0, 32
+    li t1, 0x77
+    sw t1, 0(t0)
+    lw a0, 0(t0)
+    nop
+    halt
+other_entry:
+    halt
+"""
+
+#: The code-splice fault class: each variant is one adversarial edit.
+SPLICE_VARIANTS: Tuple[SpliceVariant, ...] = (
+    SpliceVariant(
+        name="widen",
+        description="bounds-widening attempt through csetbounds",
+        target="csetboundsimm t0, t0, 32",
+        replacement="csetboundsimm t0, t0, 4096",
+    ),
+    SpliceVariant(
+        name="oob-store",
+        description="store displaced past the narrowed bounds",
+        target="sw t1, 0(t0)",
+        replacement="sw t1, 60(t0)",
+    ),
+    SpliceVariant(
+        name="stack-escape",
+        description="stack capability stored to globals (SL rule)",
+        target="nop",
+        replacement="csc csp, 0(s1)",
+    ),
+    SpliceVariant(
+        name="untag-jump",
+        description="indirect jump through an untagged capability",
+        target="nop",
+        replacement="ccleartag t2, s0\njalr c0, t2",
+    ),
+    SpliceVariant(
+        name="sentry-mint",
+        description="sentry minted from a non-executable capability",
+        target="nop",
+        replacement="csealentry t2, s0, inherit",
+    ),
+    SpliceVariant(
+        name="cross-jump",
+        description="direct jump across the compartment boundary",
+        target="nop",
+        replacement="j other_entry",
+    ),
+    SpliceVariant(
+        name="drop-narrow",
+        description="narrowing removed (still in-bounds: claimed safe)",
+        target="csetboundsimm t0, t0, 32",
+        replacement="nop",
+    ),
+)
+
+
+def _guest_caps():
+    roots = make_roots()
+    buffer = roots.memory.set_address(_CODE_BASE + _BUF_OFFSET).set_bounds(
+        _BUF_SIZE
+    )
+    # Globals: no SL, so local capabilities cannot be captured here.
+    stash = (
+        roots.memory.set_address(_CODE_BASE + _STASH_OFFSET)
+        .set_bounds(64)
+        .and_perms({P.GL, P.LD, P.SD, P.MC, P.LM, P.LG})
+    )
+    # Stack: SL-bearing and local (no GL).
+    stack = (
+        roots.memory.set_address(_CODE_BASE + _STACK_OFFSET)
+        .set_bounds(_STACK_SIZE)
+        .and_perms({P.LD, P.SD, P.MC, P.SL, P.LM, P.LG})
+        .set_address(_CODE_BASE + _STACK_OFFSET + _STACK_SIZE)
+    )
+    return roots, buffer, stash, stack
+
+
+def _static_verdict(source: str) -> VerifyResult:
+    roots, buffer, stash, stack = _guest_caps()
+    program = assemble(source, name="crosscheck-guest")
+    boundary = program.entry("other_entry")
+    entry_regs = {
+        2: AbstractCap.from_capability(stack, "stack"),
+        8: AbstractCap.from_capability(buffer, "heap"),
+        9: AbstractCap.from_capability(stash, "globals"),
+    }
+    spec = ImageSpec(
+        name="crosscheck-guest",
+        program=program,
+        code_base=_CODE_BASE,
+        compartments=(
+            CompartmentSpan(
+                name="main",
+                span=(0, boundary),
+                entries=(program.entry("_start"),),
+                entry_regs=entry_regs,
+                pcc_has_sr=True,
+                pcc_bounds=(roots.executable.base, roots.executable.top),
+            ),
+            CompartmentSpan(
+                name="other",
+                span=(boundary, len(program.instructions)),
+                entries=(boundary,),
+                pcc_has_sr=True,
+                pcc_bounds=(roots.executable.base, roots.executable.top),
+            ),
+        ),
+    )
+    return verify_image(spec)
+
+
+def _dynamic_outcome(source: str) -> str:
+    """Run the guest on the real CPU: detected | clean | escaped."""
+    roots, buffer, stash, stack = _guest_caps()
+    program = assemble(source, name="crosscheck-guest")
+    bus = SystemBus()
+    sram = bus.attach_sram(TaggedMemory(_CODE_BASE, 0x1_0000))
+    cpu = CPU(bus, ExecutionMode.CHERIOT)
+    cpu.load_program(program, _CODE_BASE, pcc=roots.executable, entry="_start")
+    cpu.regs.write(2, stack)
+    cpu.regs.write(8, buffer)
+    cpu.regs.write(9, stash)
+
+    snapshot = sram.read_bytes(_CODE_BASE, sram.size)
+    try:
+        cpu.run(max_steps=10_000)
+    except (Trap, CapabilityError):
+        return "detected"
+    after = sram.read_bytes(_CODE_BASE, sram.size)
+    lo, hi = _BUF_OFFSET, _BUF_OFFSET + _BUF_SIZE
+    if after[:lo] != snapshot[:lo] or after[hi:] != snapshot[hi:]:
+        return "escaped"
+    return "clean"
+
+
+def run_crosscheck() -> Dict:
+    """Run the full splice set through both oracles; returns the gate.
+
+    ``consistent`` is the falsifiability verdict: True iff no variant
+    (including the stock guest) is statically clean but dynamically
+    escaping.
+    """
+    stock_static = _static_verdict(GUEST)
+    stock_dynamic = _dynamic_outcome(GUEST)
+
+    variants: List[Dict] = []
+    consistent = not stock_static.violations and stock_dynamic == "clean"
+    flagged = 0
+    for variant in sorted(SPLICE_VARIANTS, key=lambda v: v.name):
+        mutated = variant.apply(GUEST)
+        static = _static_verdict(mutated)
+        dynamic = _dynamic_outcome(mutated)
+        categories = sorted({f.category for f in static.violations})
+        if categories:
+            flagged += 1
+        if not categories and dynamic == "escaped":
+            consistent = False
+        variants.append(
+            {
+                "name": variant.name,
+                "description": variant.description,
+                "static_flagged": bool(categories),
+                "static_categories": categories,
+                "dynamic": dynamic,
+            }
+        )
+
+    return {
+        "image": "crosscheck-guest",
+        "stock": {
+            "static_violations": len(stock_static.violations),
+            "dynamic": stock_dynamic,
+        },
+        "variants": variants,
+        "statically_flagged": flagged,
+        "consistent": consistent,
+    }

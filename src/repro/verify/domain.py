@@ -1,0 +1,289 @@
+"""The abstract capability domain for static verification.
+
+One :class:`AbstractCap` over-approximates the set of architectural
+capability values a register (or a memory summary cell) may hold at a
+program point:
+
+* ``tag`` — three-valued validity (:class:`Tri`);
+* ``otypes`` — the set of otype values the capability may carry
+  (``{0}`` means *definitely unsealed*);
+* ``perms_must`` / ``perms_may`` — under- and over-approximations of
+  the permission set (``must ⊆ actual ⊆ may`` for every concretisation);
+* ``bounds`` — the exact decoded ``(base, top)`` when it is the same
+  for every concretisation, else ``None`` (unknown);
+* ``addr`` — an inclusive interval ``(lo, hi)`` containing the address
+  field, else ``None``;
+* ``prov`` — a set of provenance labels ("stack", "globals", "code",
+  "export-table", ...) naming the roots the value may derive from.
+
+The lattice is finite up to the address intervals, which are widened to
+``None`` by the fixpoint engine after a bounded number of growths, so
+the worklist always terminates.
+
+The join is the usual componentwise one; ``subsumes`` is only used by
+tests (the verifier never needs a full partial order — each property
+check reads the components it needs directly).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.capability import Capability, Permission
+from repro.capability.otypes import (
+    FORWARD_SENTRY_OTYPES,
+    OTYPE_UNSEALED,
+    RETURN_SENTRY_OTYPES,
+)
+
+#: Inclusive interval over 32-bit values, or ``None`` for unknown.
+Interval = Optional[Tuple[int, int]]
+
+#: All representable otype values.
+ALL_OTYPES: FrozenSet[int] = frozenset(range(8))
+
+#: The full architectural permission set.
+ALL_PERMS: FrozenSet[Permission] = frozenset(Permission)
+
+_ADDR_MAX = (1 << 32) - 1
+
+
+class Tri(enum.Enum):
+    """Three-valued truth for per-concretisation facts."""
+
+    NO = "no"
+    YES = "yes"
+    MAYBE = "maybe"
+
+    def join(self, other: "Tri") -> "Tri":
+        if self is other:
+            return self
+        return Tri.MAYBE
+
+    @property
+    def may(self) -> bool:
+        """True unless definitely false."""
+        return self is not Tri.NO
+
+    @property
+    def must(self) -> bool:
+        """True only when definitely true."""
+        return self is Tri.YES
+
+
+def interval_join(a: Interval, b: Interval) -> Interval:
+    if a is None or b is None:
+        return None
+    return (min(a[0], b[0]), max(a[1], b[1]))
+
+
+def interval_add(a: Interval, delta_lo: int, delta_hi: int) -> Interval:
+    """Shift an interval, collapsing to unknown on 32-bit wraparound."""
+    if a is None:
+        return None
+    lo, hi = a[0] + delta_lo, a[1] + delta_hi
+    if lo < 0 or hi > _ADDR_MAX:
+        return None
+    return (lo, hi)
+
+
+def interval_const(value: int) -> Interval:
+    return (value & _ADDR_MAX, value & _ADDR_MAX)
+
+
+@dataclass(frozen=True)
+class AbstractCap:
+    """Over-approximation of the capabilities one location may hold."""
+
+    tag: Tri = Tri.MAYBE
+    otypes: FrozenSet[int] = ALL_OTYPES
+    perms_must: FrozenSet[Permission] = frozenset()
+    perms_may: FrozenSet[Permission] = ALL_PERMS
+    bounds: Optional[Tuple[int, int]] = None
+    addr: Interval = None
+    prov: FrozenSet[str] = frozenset({"unknown"})
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def unknown() -> "AbstractCap":
+        return _UNKNOWN
+
+    @staticmethod
+    def integer(addr: Interval = None) -> "AbstractCap":
+        """An untagged plain integer (NULL-derived capability)."""
+        return AbstractCap(
+            tag=Tri.NO,
+            otypes=frozenset({OTYPE_UNSEALED}),
+            perms_must=frozenset(),
+            perms_may=frozenset(),
+            bounds=None,
+            addr=addr,
+            prov=frozenset({"int"}),
+        )
+
+    @staticmethod
+    def const(value: int) -> "AbstractCap":
+        return AbstractCap.integer(interval_const(value))
+
+    @staticmethod
+    def from_capability(cap: Capability, prov: str) -> "AbstractCap":
+        """The singleton abstraction of one concrete capability."""
+        return AbstractCap(
+            tag=Tri.YES if cap.tag else Tri.NO,
+            otypes=frozenset({cap.otype}),
+            perms_must=frozenset(cap.perms),
+            perms_may=frozenset(cap.perms),
+            bounds=(cap.base, cap.top),
+            addr=interval_const(cap.address),
+            prov=frozenset({prov}),
+        )
+
+    # ------------------------------------------------------------------
+    # Lattice
+    # ------------------------------------------------------------------
+
+    def join(self, other: "AbstractCap") -> "AbstractCap":
+        return AbstractCap(
+            tag=self.tag.join(other.tag),
+            otypes=self.otypes | other.otypes,
+            perms_must=self.perms_must & other.perms_must,
+            perms_may=self.perms_may | other.perms_may,
+            bounds=self.bounds if self.bounds == other.bounds else None,
+            addr=interval_join(self.addr, other.addr),
+            prov=self.prov | other.prov,
+        )
+
+    def widened_against(self, older: "AbstractCap") -> "AbstractCap":
+        """Widening: any component still growing jumps straight to top.
+
+        Applied by the worklist after a join point has been revisited
+        enough times; guarantees the fixpoint terminates even for
+        address intervals driven by loop arithmetic.
+        """
+        out = self
+        if older.addr != self.addr:
+            out = replace(out, addr=None)
+        if older.bounds != self.bounds:
+            out = replace(out, bounds=None)
+        return out
+
+    def subsumes(self, other: "AbstractCap") -> bool:
+        """True when every concretisation of ``other`` is covered."""
+        if other.tag is not self.tag and self.tag is not Tri.MAYBE:
+            return False
+        if not other.otypes <= self.otypes:
+            return False
+        if not self.perms_must <= other.perms_must:
+            return False
+        if not other.perms_may <= self.perms_may:
+            return False
+        if self.bounds is not None and self.bounds != other.bounds:
+            return False
+        if self.addr is not None and (
+            other.addr is None
+            or other.addr[0] < self.addr[0]
+            or other.addr[1] > self.addr[1]
+        ):
+            return False
+        return other.prov <= self.prov
+
+    # ------------------------------------------------------------------
+    # Queries the property checks read
+    # ------------------------------------------------------------------
+
+    @property
+    def may_be_tagged(self) -> bool:
+        return self.tag.may
+
+    @property
+    def must_be_tagged(self) -> bool:
+        return self.tag.must
+
+    @property
+    def must_be_unsealed(self) -> bool:
+        return self.otypes == frozenset({OTYPE_UNSEALED})
+
+    @property
+    def may_be_sealed(self) -> bool:
+        return any(o != OTYPE_UNSEALED for o in self.otypes)
+
+    @property
+    def must_be_sealed(self) -> bool:
+        return OTYPE_UNSEALED not in self.otypes
+
+    def sealed_otypes(self) -> FrozenSet[int]:
+        return frozenset(o for o in self.otypes if o != OTYPE_UNSEALED)
+
+    def may_have(self, perm: Permission) -> bool:
+        return perm in self.perms_may
+
+    def must_have(self, perm: Permission) -> bool:
+        return perm in self.perms_must
+
+    @property
+    def may_be_local(self) -> bool:
+        """May lack GL — locals are what the SL rule quarantines."""
+        return Permission.GL not in self.perms_must
+
+    @property
+    def must_be_local(self) -> bool:
+        return Permission.GL not in self.perms_may
+
+    def may_be_forward_sentry(self) -> bool:
+        exec_may = Permission.EX in self.perms_may
+        return exec_may and bool(self.sealed_otypes() & FORWARD_SENTRY_OTYPES)
+
+    def may_be_return_sentry(self) -> bool:
+        exec_may = Permission.EX in self.perms_may
+        return exec_may and bool(self.sealed_otypes() & RETURN_SENTRY_OTYPES)
+
+    def may_be_sealed_non_sentry(self) -> bool:
+        """Sealed forms that a jump can never legally consume."""
+        if Permission.EX not in self.perms_may:
+            return bool(self.sealed_otypes())
+        sentries = FORWARD_SENTRY_OTYPES | RETURN_SENTRY_OTYPES
+        return bool(self.sealed_otypes() - sentries)
+
+    def addr_definitely_outside(self, base: int, top: int) -> bool:
+        """True when the address interval cannot intersect [base, top)."""
+        if self.addr is None:
+            return False
+        return self.addr[1] < base or self.addr[0] >= top
+
+    def addr_definitely_inside(self, base: int, top: int) -> bool:
+        if self.addr is None:
+            return False
+        return base <= self.addr[0] and self.addr[1] < top
+
+    def untag(self) -> "AbstractCap":
+        return replace(self, tag=Tri.NO)
+
+    def describe(self) -> str:
+        tag = {Tri.YES: "v", Tri.NO: "!", Tri.MAYBE: "?"}[self.tag]
+        bounds = (
+            f"[{self.bounds[0]:#x},{self.bounds[1]:#x})" if self.bounds else "[?]"
+        )
+        addr = f"{self.addr[0]:#x}..{self.addr[1]:#x}" if self.addr else "?"
+        otypes = ",".join(str(o) for o in sorted(self.otypes))
+        return f"cap {tag} addr={addr} {bounds} ot={{{otypes}}} " + (
+            "/".join(sorted(self.prov))
+        )
+
+
+_UNKNOWN = AbstractCap()
+
+
+def join_maps(
+    a: Dict[str, AbstractCap], b: Dict[str, AbstractCap]
+) -> Dict[str, AbstractCap]:
+    """Join two keyed summary maps (missing key = bottom/absent)."""
+    out = dict(a)
+    for key, value in b.items():
+        prior = out.get(key)
+        out[key] = value if prior is None else prior.join(value)
+    return out

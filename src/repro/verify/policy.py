@@ -1,0 +1,199 @@
+"""Policy-driven linkage audit (the ``cheriot-audit`` analogue).
+
+The real CHERIoT project ships a signing-time auditor that evaluates a
+policy — written by whoever signs the firmware — against the linkage
+report extracted from the image: which compartments may hold device
+windows, which exports may run with interrupts disabled, whether every
+import token is properly sealed.  This module is that engine over our
+image model's linkage schema.
+
+There is exactly **one** linkage schema: the one
+:func:`repro.rtos.audit.audit_image` produces.  This module re-exports
+it (``AuditReport`` and its record types) so policy consumers never
+grow a second, subtly different report shape.
+
+A policy is declarative JSON::
+
+    {"rules": [
+        {"rule": "sealed-imports", "otype": 1},
+        {"rule": "import-targets-exported"},
+        {"rule": "mmio-allowlist",
+         "allow": {"alloc": ["revocation_mmio", "revoker_mmio"]}},
+        {"rule": "interrupts-disabled-allowlist", "allow": []},
+        {"rule": "no-exec-grants"}
+    ]}
+
+Unknown rule names fail closed (they produce a violation rather than
+being skipped): a typo in a security policy must not silently audit
+nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Union
+
+# The one linkage schema, re-exported for policy consumers.
+from repro.rtos.audit import (  # noqa: F401
+    AuditReport,
+    ExportRecord,
+    GrantRecord,
+    ImportRecord,
+    audit_image,
+)
+
+
+@dataclass(frozen=True)
+class PolicyViolation:
+    """One failed policy check."""
+
+    rule: str
+    subject: str
+    message: str
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "subject": self.subject,
+            "message": self.message,
+        }
+
+
+def _normalise(report: Union[AuditReport, dict]) -> dict:
+    if isinstance(report, AuditReport):
+        return report.to_dict()
+    return report
+
+
+def _rule_sealed_imports(report: dict, rule: dict) -> List[PolicyViolation]:
+    """Every import token must be sealed, with the declared otype."""
+    expected = rule.get("otype")
+    out = []
+    for imp in report.get("imports", []):
+        subject = f"{imp['importer']} -> {imp['exporter']}.{imp['export']}"
+        if not imp["sealed"]:
+            out.append(
+                PolicyViolation(
+                    "sealed-imports", subject, "import token is not sealed"
+                )
+            )
+        elif expected is not None and imp["otype"] != expected:
+            out.append(
+                PolicyViolation(
+                    "sealed-imports",
+                    subject,
+                    f"token otype {imp['otype']} != required {expected}",
+                )
+            )
+    return out
+
+
+def _rule_import_targets_exported(
+    report: dict, rule: dict
+) -> List[PolicyViolation]:
+    """Every import must name an export that actually exists."""
+    exported = {
+        (e["compartment"], e["export"]) for e in report.get("exports", [])
+    }
+    out = []
+    for imp in report.get("imports", []):
+        if (imp["exporter"], imp["export"]) not in exported:
+            out.append(
+                PolicyViolation(
+                    "import-targets-exported",
+                    f"{imp['importer']} -> {imp['exporter']}.{imp['export']}",
+                    "import names an export the image does not define",
+                )
+            )
+    return out
+
+
+def _rule_mmio_allowlist(report: dict, rule: dict) -> List[PolicyViolation]:
+    """Device windows may only be held by explicitly allowed holders."""
+    allow = rule.get("allow", {})
+    out = []
+    for grant in report.get("grants", []):
+        if grant["kind"] == "data":
+            continue
+        allowed = allow.get(grant["compartment"], [])
+        if grant["kind"] not in allowed:
+            out.append(
+                PolicyViolation(
+                    "mmio-allowlist",
+                    f"{grant['compartment']}.{grant['slot']}",
+                    f"holds device window {grant['kind']} "
+                    f"[{grant['base']:#x}, {grant['top']:#x}) "
+                    "without policy authorisation",
+                )
+            )
+    return out
+
+
+def _rule_interrupts_disabled_allowlist(
+    report: dict, rule: dict
+) -> List[PolicyViolation]:
+    """Only allow-listed exports may run with interrupts disabled."""
+    allow = set(rule.get("allow", []))
+    out = []
+    for name in report.get("interrupts_disabled", []):
+        if name not in allow:
+            out.append(
+                PolicyViolation(
+                    "interrupts-disabled-allowlist",
+                    name,
+                    "runs with interrupts disabled without policy "
+                    "authorisation",
+                )
+            )
+    return out
+
+
+def _rule_no_exec_grants(report: dict, rule: dict) -> List[PolicyViolation]:
+    """Held data/MMIO grants must never be executable."""
+    out = []
+    for grant in report.get("grants", []):
+        if "EX" in grant["perms"]:
+            out.append(
+                PolicyViolation(
+                    "no-exec-grants",
+                    f"{grant['compartment']}.{grant['slot']}",
+                    "grant carries EX — data capabilities must not be "
+                    "executable",
+                )
+            )
+    return out
+
+
+_RULES: Dict[str, Callable[[dict, dict], List[PolicyViolation]]] = {
+    "sealed-imports": _rule_sealed_imports,
+    "import-targets-exported": _rule_import_targets_exported,
+    "mmio-allowlist": _rule_mmio_allowlist,
+    "interrupts-disabled-allowlist": _rule_interrupts_disabled_allowlist,
+    "no-exec-grants": _rule_no_exec_grants,
+}
+
+
+def evaluate_policy(
+    report: Union[AuditReport, dict], policy: dict
+) -> List[PolicyViolation]:
+    """Evaluate a declarative policy against a linkage report.
+
+    Returns the (deterministically ordered) list of violations; an
+    empty list means the image satisfies the policy.
+    """
+    data = _normalise(report)
+    violations: List[PolicyViolation] = []
+    for rule in policy.get("rules", []):
+        name = rule.get("rule", "<missing>")
+        check = _RULES.get(name)
+        if check is None:
+            violations.append(
+                PolicyViolation(
+                    name, "<policy>", f"unknown rule {name!r} (failing closed)"
+                )
+            )
+            continue
+        violations.extend(check(data, rule))
+    return sorted(
+        violations, key=lambda v: (v.rule, v.subject, v.message)
+    )

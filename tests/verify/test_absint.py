@@ -1,0 +1,259 @@
+"""The abstract interpreter's property checks on small programs.
+
+Each test builds a minimal one-compartment image around a handful of
+instructions and asserts the verifier's verdict: a *violation* when the
+defect holds for every concretisation, an *obligation* when the static
+domain cannot decide, and a clean bill (with the property counted as
+proven) for correct code.
+"""
+
+from repro.capability import Permission, make_roots
+from repro.verify import CompartmentSpan, ImageSpec, verify_image
+from repro.verify.domain import AbstractCap
+
+CODE_BASE = 0x2000_0000
+
+
+def _image(source, regs=None, pcc_has_sr=False, memory=None, **kwargs):
+    from repro.isa import assemble
+
+    program = assemble(source)
+    span = CompartmentSpan(
+        name="main",
+        span=(0, len(program)),
+        entries=(0,),
+        entry_regs=regs or {},
+        pcc_has_sr=pcc_has_sr,
+    )
+    return ImageSpec(
+        name="test",
+        program=program,
+        code_base=CODE_BASE,
+        compartments=(span,),
+        memory=memory or {},
+        **kwargs,
+    )
+
+
+def _heap(size=64, address=0x100):
+    roots = make_roots()
+    cap = roots.memory.set_address(address).set_bounds(size)
+    return AbstractCap.from_capability(cap, "heap")
+
+
+def _stack(size=0x100, address=0x9000):
+    roots = make_roots()
+    cap = (
+        roots.memory.set_address(address)
+        .set_bounds(size)
+        .clear_perms(Permission.GL)
+    )
+    return AbstractCap.from_capability(cap, "stack")
+
+
+def _categories(result, severity=None):
+    return {
+        f.category
+        for f in result.findings
+        if severity is None or f.severity == severity
+    }
+
+
+def test_clean_program_proves_bounds():
+    result = verify_image(
+        _image(
+            "    sw zero, 0(s0)\n"
+            "    lw a0, 4(s0)\n"
+            "    halt\n",
+            regs={8: _heap()},
+        )
+    )
+    assert result.violations == []
+    assert result.proven.get("bounds", 0) >= 2
+
+
+def test_guaranteed_widen_is_a_violation():
+    result = verify_image(
+        _image(
+            "    csetboundsimm t0, s0, 4096\n"
+            "    halt\n",
+            regs={8: _heap(size=64)},
+        )
+    )
+    assert "monotonicity" in _categories(result, "violation")
+
+
+def test_inbounds_narrow_is_proven_monotone():
+    result = verify_image(
+        _image(
+            "    csetboundsimm t0, s0, 16\n"
+            "    halt\n",
+            regs={8: _heap(size=64)},
+        )
+    )
+    assert result.violations == []
+    assert result.proven.get("monotonicity", 0) >= 1
+
+
+def test_definitely_out_of_bounds_store_is_a_violation():
+    result = verify_image(
+        _image(
+            "    sw zero, 128(s0)\n"
+            "    halt\n",
+            regs={8: _heap(size=64)},
+        )
+    )
+    assert "bounds" in _categories(result, "violation")
+
+
+def test_store_via_untagged_value_is_a_violation():
+    result = verify_image(
+        _image(
+            "    li t0, 0x100\n"
+            "    sw zero, 0(t0)\n"
+            "    halt\n"
+        )
+    )
+    assert "untagged-deref" in _categories(result, "violation")
+
+
+def test_stack_cap_stored_to_global_is_flagged():
+    # s0 = stack capability (local), s1 = global stash: the store-local
+    # rule makes the store trap, and the verifier reports it statically.
+    result = verify_image(
+        _image(
+            "    csc s0, 0(s1)\n"
+            "    halt\n",
+            regs={8: _stack(), 9: _heap(address=0xA000)},
+        )
+    )
+    cats = _categories(result)
+    assert "store-local" in cats or "stack-escape" in cats
+
+
+def test_stack_cap_to_stack_memory_is_fine():
+    # Spilling the stack capability to the stack itself is the normal
+    # calling convention; SL on the authority licenses it.
+    result = verify_image(
+        _image(
+            "    csc s0, 0(s0)\n"
+            "    halt\n",
+            regs={8: _stack()},
+        )
+    )
+    assert result.violations == []
+
+
+def test_jump_to_untagged_register_is_a_violation():
+    result = verify_image(
+        _image(
+            "    li t0, 0x2000_0000\n"
+            "    jalr zero, t0\n"
+        )
+    )
+    assert "untagged-jump" in _categories(result, "violation")
+
+
+def test_invoking_sealed_non_sentry_is_a_violation():
+    roots = make_roots()
+    token = roots.memory.set_bounds(16).seal(roots.sealing.set_address(6))
+    result = verify_image(
+        _image(
+            "    jalr zero, t0\n",
+            regs={5: AbstractCap.from_capability(token, "token")},
+        )
+    )
+    assert "sentry" in _categories(result, "violation")
+
+
+def test_protected_csr_write_needs_system_register_permission():
+    src = "    csrw mshwm, a0\n    halt\n"
+    unprivileged = verify_image(_image(src, pcc_has_sr=False))
+    assert "scr-access" in _categories(unprivileged, "violation")
+    privileged = verify_image(_image(src, pcc_has_sr=True))
+    assert privileged.violations == []
+
+
+def test_cunseal_without_authority_is_a_violation():
+    roots = make_roots()
+    token = roots.memory.set_bounds(16).seal(roots.sealing.set_address(1))
+    result = verify_image(
+        _image(
+            # t1 is a plain data capability, not a sealing authority.
+            "    cunseal t0, t2, t1\n"
+            "    halt\n",
+            regs={
+                5: _heap(),
+                6: AbstractCap.from_capability(roots.memory.set_bounds(8), "x"),
+                7: AbstractCap.from_capability(token, "token"),
+            },
+        )
+    )
+    assert "unseal" in _categories(result, "violation")
+
+
+def test_candperm_always_proves_monotonicity():
+    result = verify_image(
+        _image(
+            "    li t1, 0x3F\n"
+            "    candperm t0, s0, t1\n"
+            "    halt\n",
+            regs={8: _heap()},
+        )
+    )
+    assert result.violations == []
+    assert result.proven.get("monotonicity", 0) >= 1
+
+
+def test_cross_compartment_direct_jump_is_a_violation():
+    from repro.isa import assemble
+
+    program = assemble(
+        "    j other\n"
+        "    halt\n"
+        "other:\n"
+        "    halt\n"
+    )
+    spans = (
+        CompartmentSpan(name="a", span=(0, 2), entries=(0,)),
+        CompartmentSpan(name="b", span=(2, 3), entries=(2,)),
+    )
+    spec = ImageSpec(
+        name="two",
+        program=program,
+        code_base=CODE_BASE,
+        compartments=spans,
+    )
+    result = verify_image(spec)
+    assert "cross-compartment" in _categories(result, "violation")
+
+
+def test_unknown_values_yield_obligations_not_violations():
+    # A completely unknown register: the verifier must not claim a
+    # definite violation, only an undischarged obligation.
+    result = verify_image(
+        _image(
+            "    sw zero, 0(a0)\n"
+            "    halt\n",
+            regs={10: AbstractCap.unknown()},
+        )
+    )
+    assert result.violations == []
+    assert result.obligations
+
+
+def test_loop_reaches_fixpoint():
+    result = verify_image(
+        _image(
+            "top:\n"
+            "    cincaddrimm s0, s0, 4\n"
+            "    addi t0, t0, -1\n"
+            "    bne t0, zero, top\n"
+            "    halt\n",
+            regs={8: _heap(size=64)},
+        )
+    )
+    # The address interval widens to unknown instead of diverging, and
+    # nothing here is a definite violation.
+    assert result.violations == []
+    assert result.passes >= 1

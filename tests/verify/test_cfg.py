@@ -1,0 +1,96 @@
+"""Control-flow graph construction over pre-decoded programs.
+
+The CFG is the skeleton the abstract interpreter walks; a missing edge
+is an unsoundness (unanalysed code) and a spurious one only costs
+precision.  These tests pin block splitting, branch/call/ret edges,
+the call-return fall-through, and cross-span edge reporting.
+"""
+
+from repro.isa import assemble
+from repro.verify import build_cfg
+
+
+def _blocks(cfg):
+    return cfg.blocks
+
+
+def test_straight_line_is_one_block():
+    program = assemble("addi a0, a0, 1\naddi a0, a0, 2\nhalt\n")
+    cfg = build_cfg(program, (0, 3), (0,))
+    assert len(cfg.blocks) == 1
+    block = cfg.block_at(0)
+    assert (block.start, block.end) == (0, 3)
+    assert block.successors == ()
+
+
+def test_branch_splits_and_gets_two_successors():
+    program = assemble(
+        "top:\n"
+        "    addi a0, a0, -1\n"
+        "    bne a0, zero, top\n"
+        "    halt\n"
+    )
+    cfg = build_cfg(program, (0, 3), (0,))
+    blocks = _blocks(cfg)
+    assert set(blocks) == {0, 2}
+    assert sorted(blocks[0].successors) == [0, 2]
+
+
+def test_jal_link_gets_call_return_fallthrough():
+    # jal with a link register is a call: the block after it must be
+    # reachable (execution resumes there when the callee returns).
+    program = assemble(
+        "    jal ra, func\n"
+        "    halt\n"
+        "func:\n"
+        "    ret\n"
+    )
+    cfg = build_cfg(program, (0, 3), (0,))
+    blocks = _blocks(cfg)
+    assert sorted(blocks[0].successors) == [1, 2]
+    # Plain `j` is a goto, not a call: no fall-through.
+    program2 = assemble("    j func\n    halt\nfunc:\n    ret\n")
+    cfg2 = build_cfg(program2, (0, 3), (0,))
+    assert cfg2.block_at(0).successors == (2,)
+
+
+def test_ret_and_halt_terminate():
+    program = assemble("ret\nhalt\n")
+    cfg = build_cfg(program, (0, 2), (0, 1))
+    for block in cfg.blocks.values():
+        assert block.successors == ()
+
+
+def test_indirect_jumps_are_recorded():
+    program = assemble("jalr ra, t0\nhalt\nret\n")
+    cfg = build_cfg(program, (0, 3), (0, 2))
+    assert 0 in cfg.indirect_sites
+    assert 2 in cfg.indirect_sites
+
+
+def test_out_of_span_target_is_a_cross_edge():
+    program = assemble(
+        "    j other\n"
+        "    halt\n"
+        "other:\n"
+        "    halt\n"
+    )
+    cfg = build_cfg(program, (0, 2), (0,))
+    assert cfg.cross_edges, "direct jump out of the span must be reported"
+    (site, target) = cfg.cross_edges[0]
+    assert site == 0 and target == 2
+    # The out-of-span index never becomes a block successor.
+    for block in cfg.blocks.values():
+        assert all(0 <= s < 2 for s in block.successors)
+
+
+def test_reachability_only_counts_entered_code():
+    program = assemble(
+        "entry:\n"
+        "    halt\n"
+        "dead:\n"
+        "    addi a0, a0, 1\n"
+        "    halt\n"
+    )
+    cfg = build_cfg(program, (0, 3), (0,))
+    assert cfg.reachable() == {0}

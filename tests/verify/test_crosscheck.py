@@ -1,0 +1,56 @@
+"""Static-vs-dynamic cross-validation (the falsifiability gate).
+
+The verifier's claims are only worth committing if they are *checked
+against reality*: every code-splice mutant is verified statically and
+executed dynamically, and the two verdicts must agree in the one
+direction soundness demands — nothing statically claimed safe may
+escape at runtime.  (The converse is allowed: static analysis may flag
+code whose defect the dynamic run never reaches.)
+"""
+
+import pytest
+
+from repro.verify import run_crosscheck
+from repro.verify.crosscheck import SPLICE_VARIANTS
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_crosscheck()
+
+
+def test_stock_guest_is_clean_both_ways(report):
+    assert report["stock"]["static_violations"] == 0
+    assert report["stock"]["dynamic"] == "clean"
+
+
+def test_no_statically_clean_mutant_escapes(report):
+    assert report["consistent"], [
+        v for v in report["variants"] if not v["static_flagged"]
+    ]
+
+
+def test_the_splice_fault_class_is_caught_statically(report):
+    # The acceptance bar: the verifier flags the code-splice fault
+    # class, not just one lucky mutant.
+    assert report["statically_flagged"] >= len(SPLICE_VARIANTS) // 2
+
+
+def test_each_defect_class_maps_to_its_category(report):
+    by_name = {v["name"]: v for v in report["variants"]}
+    assert "monotonicity" in by_name["widen"]["static_categories"]
+    assert "bounds" in by_name["oob-store"]["static_categories"]
+    assert by_name["untag-jump"]["static_flagged"]
+    assert by_name["cross-jump"]["static_flagged"]
+
+
+def test_the_claimed_safe_control_stays_clean(report):
+    control = next(v for v in report["variants"] if v["name"] == "drop-narrow")
+    assert not control["static_flagged"]
+    assert control["dynamic"] in ("clean", "detected")
+
+
+def test_report_is_deterministic(report):
+    assert report == run_crosscheck()
+    names = [v["name"] for v in report["variants"]]
+    assert names == sorted(names)

@@ -1,0 +1,168 @@
+"""Lattice laws for the abstract capability domain.
+
+The worklist fixpoint in ``repro.verify.absint`` terminates and is
+sound only if the domain behaves like a join-semilattice with a
+widening: join must be commutative, idempotent and an upper bound;
+widening must reach a fixed element in finitely many steps.  These
+tests pin those laws on representative elements, plus the
+capability-specific queries the transfer functions rely on.
+"""
+
+from repro.capability import Permission, make_roots
+from repro.capability.otypes import SentryType
+from repro.verify.domain import (
+    AbstractCap,
+    Tri,
+    interval_add,
+    interval_join,
+    join_maps,
+)
+
+GL = Permission.GL
+SD = Permission.SD
+EX = Permission.EX
+
+
+def _samples():
+    roots = make_roots()
+    return [
+        AbstractCap.unknown(),
+        AbstractCap.integer(),
+        AbstractCap.const(42),
+        AbstractCap.from_capability(
+            roots.memory.set_address(0x100).set_bounds(64), "stack"
+        ),
+        AbstractCap.from_capability(roots.executable, "code"),
+        AbstractCap.from_capability(
+            roots.memory.set_bounds(16).seal(roots.sealing.set_address(3)),
+            "token",
+        ),
+    ]
+
+
+def test_tri_join_table():
+    assert Tri.NO.join(Tri.NO) is Tri.NO
+    assert Tri.YES.join(Tri.YES) is Tri.YES
+    assert Tri.NO.join(Tri.YES) is Tri.MAYBE
+    assert Tri.MAYBE.join(Tri.NO) is Tri.MAYBE
+    assert Tri.YES.may and Tri.YES.must
+    assert Tri.MAYBE.may and not Tri.MAYBE.must
+    assert not Tri.NO.may
+
+
+def test_interval_ops():
+    assert interval_join((1, 3), (2, 9)) == (1, 9)
+    assert interval_join(None, (2, 9)) is None
+    assert interval_add((10, 20), 1, 2) == (11, 22)
+    # Wrapping past 2^32 loses all information rather than lying.
+    assert interval_add((0xFFFF_FFF0, 0xFFFF_FFFF), 0, 0x100) is None
+
+
+def test_join_commutative_and_idempotent():
+    for a in _samples():
+        assert a.join(a) == a
+        for b in _samples():
+            assert a.join(b) == b.join(a)
+
+
+def test_join_is_upper_bound():
+    for a in _samples():
+        for b in _samples():
+            joined = a.join(b)
+            assert joined.subsumes(a), (a.describe(), b.describe())
+            assert joined.subsumes(b)
+
+
+def test_subsumes_reflexive():
+    for a in _samples():
+        assert a.subsumes(a)
+
+
+def test_widening_terminates():
+    roots = make_roots()
+    cap = AbstractCap.from_capability(
+        roots.memory.set_address(0).set_bounds(64), "stack"
+    )
+    grower = AbstractCap.from_capability(
+        roots.memory.set_address(0x1000).set_bounds(128), "stack"
+    )
+    for _ in range(8):
+        widened = cap.join(grower).widened_against(cap)
+        if widened == cap:
+            break
+        cap = widened
+    else:
+        raise AssertionError("widening failed to stabilise")
+    # After widening, the still-growing components are at top.
+    assert cap.addr is None and cap.bounds is None
+
+
+def test_integer_has_no_capability_rights():
+    n = AbstractCap.const(7)
+    assert not n.may_be_tagged
+    assert not n.may_have(SD)
+    assert n.addr == (7, 7)
+    assert n.must_be_unsealed
+
+
+def test_from_capability_queries():
+    roots = make_roots()
+    mem = AbstractCap.from_capability(
+        roots.memory.set_address(0x100).set_bounds(64), "heap"
+    )
+    assert mem.must_be_tagged
+    assert mem.must_be_unsealed
+    assert mem.must_have(SD)
+    assert not mem.may_have(EX)
+    assert not mem.may_be_local  # memory root carries GL
+    assert mem.prov == frozenset({"heap"})
+
+
+def test_local_means_no_global_permission():
+    roots = make_roots()
+    local = AbstractCap.from_capability(
+        roots.memory.set_bounds(64).clear_perms(GL), "stack"
+    )
+    assert local.must_be_local
+    glob = AbstractCap.from_capability(roots.memory.set_bounds(64), "heap")
+    assert not glob.may_be_local
+    # After a join the answer degrades to "maybe", never to a wrong "must".
+    joined = local.join(glob)
+    assert joined.may_be_local and not joined.must_be_local
+
+
+def test_sealed_queries():
+    roots = make_roots()
+    token = AbstractCap.from_capability(
+        roots.memory.set_bounds(16).seal(roots.sealing.set_address(3)), "tok"
+    )
+    assert token.must_be_sealed
+    assert token.sealed_otypes() == frozenset({3})
+    assert token.may_be_sealed_non_sentry()  # otype 3 without EX
+    assert not token.untag().may_be_tagged
+
+
+def test_sentry_queries():
+    roots = make_roots()
+    sentry = AbstractCap.from_capability(
+        roots.executable.seal_sentry(SentryType.INHERIT), "code"
+    )
+    assert sentry.may_be_forward_sentry()
+    assert not sentry.may_be_return_sentry()
+    assert not sentry.may_be_sealed_non_sentry()
+
+
+def test_address_range_queries():
+    cap = AbstractCap.integer((0x100, 0x1FF))
+    assert cap.addr_definitely_inside(0x100, 0x200)
+    assert cap.addr_definitely_outside(0x200, 0x300)
+    assert not cap.addr_definitely_inside(0x180, 0x200)
+    assert not AbstractCap.unknown().addr_definitely_inside(0, 1 << 32)
+
+
+def test_join_maps_keeps_union_of_keys():
+    a = {"x": AbstractCap.const(1)}
+    b = {"x": AbstractCap.const(2), "y": AbstractCap.integer()}
+    merged = join_maps(a, b)
+    assert set(merged) == {"x", "y"}
+    assert merged["x"].addr == (1, 2)

@@ -1,0 +1,160 @@
+"""The declarative policy engine over the linkage schema.
+
+Rules are tested against hand-built report dicts (the engine accepts
+either an :class:`AuditReport` or its ``to_dict`` form), plus one
+integration check on the real stock image: the committed policy must
+hold on it.
+"""
+
+import json
+import os
+
+from repro.verify import evaluate_policy
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+def _report(**overrides):
+    base = {
+        "exports": [
+            {
+                "compartment": "alloc",
+                "export": "malloc",
+                "interrupt_posture": "enabled",
+            }
+        ],
+        "imports": [
+            {
+                "importer": "app",
+                "exporter": "alloc",
+                "export": "malloc",
+                "otype": 1,
+                "sealed": True,
+                "entry_address": 0x2000_0100,
+            }
+        ],
+        "grants": [
+            {
+                "compartment": "alloc",
+                "slot": "revocation-bitmap",
+                "base": 0x8000_0000,
+                "top": 0x8000_1000,
+                "perms": ["GL", "LD", "MC", "SD"],
+                "kind": "revocation_mmio",
+            }
+        ],
+        "interrupts_disabled": [],
+    }
+    base.update(overrides)
+    return base
+
+
+def _rules(*rules):
+    return {"rules": list(rules)}
+
+
+def test_stock_shaped_report_passes_committed_policy_rules():
+    with open(os.path.join(REPO, "AUDIT_policy.json")) as fh:
+        policy = json.load(fh)
+    report = _report()
+    report["grants"][0]["kind"] = "revocation_mmio"
+    assert evaluate_policy(report, policy) == []
+
+
+def test_unsealed_import_fails():
+    report = _report()
+    report["imports"][0]["sealed"] = False
+    violations = evaluate_policy(
+        report, _rules({"rule": "sealed-imports", "otype": 1})
+    )
+    assert len(violations) == 1
+    assert violations[0].rule == "sealed-imports"
+
+
+def test_wrong_otype_fails():
+    report = _report()
+    report["imports"][0]["otype"] = 5
+    violations = evaluate_policy(
+        report, _rules({"rule": "sealed-imports", "otype": 1})
+    )
+    assert "otype 5" in violations[0].message
+
+
+def test_import_must_target_a_real_export():
+    report = _report()
+    report["imports"][0]["export"] = "free"  # not exported above
+    violations = evaluate_policy(
+        report, _rules({"rule": "import-targets-exported"})
+    )
+    assert len(violations) == 1
+
+
+def test_mmio_allowlist_blocks_unlisted_holder():
+    violations = evaluate_policy(
+        _report(), _rules({"rule": "mmio-allowlist", "allow": {}})
+    )
+    assert len(violations) == 1
+    assert "device window" in violations[0].message
+    allowed = evaluate_policy(
+        _report(),
+        _rules(
+            {"rule": "mmio-allowlist", "allow": {"alloc": ["revocation_mmio"]}}
+        ),
+    )
+    assert allowed == []
+
+
+def test_plain_data_grants_need_no_mmio_authorisation():
+    report = _report()
+    report["grants"][0]["kind"] = "data"
+    assert (
+        evaluate_policy(report, _rules({"rule": "mmio-allowlist", "allow": {}}))
+        == []
+    )
+
+
+def test_interrupts_disabled_allowlist():
+    report = _report(interrupts_disabled=["alloc.malloc"])
+    violations = evaluate_policy(
+        report,
+        _rules({"rule": "interrupts-disabled-allowlist", "allow": []}),
+    )
+    assert len(violations) == 1
+    allowed = evaluate_policy(
+        report,
+        _rules(
+            {
+                "rule": "interrupts-disabled-allowlist",
+                "allow": ["alloc.malloc"],
+            }
+        ),
+    )
+    assert allowed == []
+
+
+def test_exec_grants_are_always_flagged():
+    report = _report()
+    report["grants"][0]["perms"] = ["GL", "LD", "EX"]
+    violations = evaluate_policy(report, _rules({"rule": "no-exec-grants"}))
+    assert len(violations) == 1
+
+
+def test_unknown_rule_fails_closed():
+    violations = evaluate_policy(_report(), _rules({"rule": "no-such-rule"}))
+    assert len(violations) == 1
+    assert "failing closed" in violations[0].message
+
+
+def test_violations_are_deterministically_ordered():
+    report = _report()
+    report["imports"][0]["sealed"] = False
+    report["grants"][0]["perms"] = ["EX"]
+    policy = _rules(
+        {"rule": "no-exec-grants"},
+        {"rule": "sealed-imports"},
+        {"rule": "mmio-allowlist", "allow": {}},
+    )
+    once = evaluate_policy(report, policy)
+    again = evaluate_policy(report, dict(policy))
+    assert [v.to_dict() for v in once] == [v.to_dict() for v in again]
+    assert [v.rule for v in once] == sorted(v.rule for v in once)

@@ -1,0 +1,70 @@
+"""Shared baseline plumbing for the regression gates.
+
+Every CI gate in ``tools/`` compares a freshly computed artifact with a
+committed JSON baseline and, on mismatch, must tell a human *where* the
+two part ways — not just that bytes differ.  This module holds the two
+pieces each gate used to re-implement:
+
+* :func:`load_baseline` — read and parse the committed file with a
+  uniform, actionable error message (exit-status-2 material);
+* :func:`first_divergence` — walk two JSON-shaped values and name the
+  first path at which they disagree.
+
+Used by ``check_fault_regression.py``, ``check_fleet_regression.py``
+and ``capaudit.py --check``.
+"""
+
+from __future__ import annotations
+
+import json
+
+
+class BaselineError(Exception):
+    """The committed baseline is missing or unreadable."""
+
+
+def load_baseline(path: str, hint: str = "") -> dict:
+    """Read a committed JSON baseline, or raise :class:`BaselineError`.
+
+    ``hint`` names the command that regenerates the file; it is folded
+    into the error message so the gate's operator never has to hunt for
+    it.
+    """
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except (OSError, ValueError) as exc:
+        message = f"cannot read baseline {path!r}: {exc}"
+        if hint:
+            message += f"\nregenerate it with: {hint}"
+        raise BaselineError(message) from exc
+
+
+def first_divergence(base, fresh, path: str = "") -> str:
+    """A human-oriented account of where two report values part ways.
+
+    Returns an empty string when the values agree; otherwise a dotted
+    path (``aggregates.faults.escaped: baseline 0, fresh run 2``).
+    """
+    if isinstance(base, dict) and isinstance(fresh, dict):
+        for key in sorted(set(base) | set(fresh)):
+            here = f"{path}.{key}" if path else str(key)
+            if key not in base:
+                return f"{here}: only in fresh run"
+            if key not in fresh:
+                return f"{here}: only in baseline"
+            found = first_divergence(base[key], fresh[key], here)
+            if found:
+                return found
+        return ""
+    if isinstance(base, list) and isinstance(fresh, list):
+        for i, (b, f) in enumerate(zip(base, fresh)):
+            found = first_divergence(b, f, f"{path}[{i}]")
+            if found:
+                return found
+        if len(base) != len(fresh):
+            return f"{path}: length {len(base)} vs {len(fresh)}"
+        return ""
+    if base != fresh:
+        return f"{path}: baseline {base!r}, fresh run {fresh!r}"
+    return ""

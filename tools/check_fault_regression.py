@@ -25,7 +25,6 @@ Exit status 1 on any violation, 2 on an unusable baseline.
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import sys
 
@@ -38,6 +37,7 @@ from repro.faultinject import run_campaign  # noqa: E402
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
 from fault_campaign import print_escape, reproduce_command  # noqa: E402
+from _baseline import BaselineError, load_baseline  # noqa: E402
 
 
 def main(argv=None) -> int:
@@ -62,10 +62,12 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     try:
-        with open(args.baseline) as fh:
-            baseline = json.load(fh)
-    except (OSError, ValueError) as exc:
-        print(f"cannot read baseline {args.baseline!r}: {exc}", file=sys.stderr)
+        baseline = load_baseline(
+            args.baseline,
+            hint="PYTHONPATH=src python tools/fault_campaign.py",
+        )
+    except BaselineError as exc:
+        print(exc, file=sys.stderr)
         return 2
 
     try:

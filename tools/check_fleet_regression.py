@@ -23,7 +23,6 @@ Exit status 1 on any violation, 2 on an unusable baseline.
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import sys
 
@@ -34,31 +33,9 @@ sys.path.insert(
 from repro.fleet import FleetPlan, merge_report, render_report, run_shard  # noqa: E402
 from repro.fleet.merge import REPORT_VERSION  # noqa: E402
 
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-def _first_divergence(base: dict, fresh: dict, path: str = "") -> str:
-    """A human-oriented account of where two report dicts part ways."""
-    if isinstance(base, dict) and isinstance(fresh, dict):
-        for key in sorted(set(base) | set(fresh)):
-            here = f"{path}.{key}" if path else str(key)
-            if key not in base:
-                return f"{here}: only in fresh run"
-            if key not in fresh:
-                return f"{here}: only in baseline"
-            found = _first_divergence(base[key], fresh[key], here)
-            if found:
-                return found
-        return ""
-    if isinstance(base, list) and isinstance(fresh, list):
-        for i, (b, f) in enumerate(zip(base, fresh)):
-            found = _first_divergence(b, f, f"{path}[{i}]")
-            if found:
-                return found
-        if len(base) != len(fresh):
-            return f"{path}: length {len(base)} vs {len(fresh)}"
-        return ""
-    if base != fresh:
-        return f"{path}: baseline {base!r}, fresh run {fresh!r}"
-    return ""
+from _baseline import BaselineError, first_divergence, load_baseline  # noqa: E402
 
 
 def main(argv=None) -> int:
@@ -67,15 +44,13 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     try:
-        with open(args.baseline) as fh:
-            baseline = json.load(fh)
-    except (OSError, ValueError) as exc:
-        print(f"cannot read baseline {args.baseline!r}: {exc}", file=sys.stderr)
-        print(
-            "regenerate it with: make fleet  "
+        baseline = load_baseline(
+            args.baseline,
+            hint="make fleet  "
             "(PYTHONPATH=src python tools/fleet_campaign.py --serial)",
-            file=sys.stderr,
         )
+    except BaselineError as exc:
+        print(exc, file=sys.stderr)
         return 2
 
     if baseline.get("version") != REPORT_VERSION:
@@ -117,7 +92,7 @@ def main(argv=None) -> int:
     fresh = merge_report(plan, results, {})
 
     if render_report(fresh) != render_report(baseline):
-        where = _first_divergence(baseline, fresh) or "(byte-level only)"
+        where = first_divergence(baseline, fresh) or "(byte-level only)"
         print(f"fleet report drifted at: {where}", file=sys.stderr)
         device = where.split("devices[", 1)
         hint = ""

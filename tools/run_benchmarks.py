@@ -53,14 +53,13 @@ DEFAULT_TIMEOUT = 900.0
 
 
 def discover_modules() -> list:
-    names = [
+    return [
         name
-        for name in os.listdir(BENCH_DIR)
+        for name in sorted(os.listdir(BENCH_DIR))
         if name.startswith("bench_")
         and name.endswith(".py")
         and name not in EXCLUDED
     ]
-    return sorted(names)
 
 
 def run_module(
