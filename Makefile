@@ -16,10 +16,15 @@ FLEET_JOBS ?= 2
 ## Worker processes for `make audit` (one image verification per worker).
 AUDIT_JOBS ?= 2
 
-.PHONY: test ci bench bench-speed bench-check faults faults-check \
-	fleet fleet-check profile trace lint audit audit-refresh
+## Devices merged into the fleet Perfetto trace / fleet profile.
+FLEET_TRACE_DEVICES ?= 3
 
-test: lint faults-check bench-check fleet-check audit
+.PHONY: test ci bench bench-speed bench-check faults faults-check \
+	fleet fleet-check profile trace lint audit audit-refresh \
+	slo slo-check fleet-profile fleet-profile-check fleet-trace
+
+test: lint faults-check bench-check fleet-check audit slo-check \
+		fleet-profile-check
 	$(PYTHON) -m pytest -x -q
 
 ## What CI runs: the regression gates plus the full test suite.
@@ -88,3 +93,26 @@ profile:
 ## Export a Perfetto trace of the reference telemetry workload.
 trace:
 	$(PYTHON) tools/trace_export.py -o $(TRACE)
+
+## Evaluate OBS_slo_policy.json over the stock fleet plan and refresh
+## the committed OBS_slo.json (byte-identical for any execution route).
+slo:
+	$(PYTHON) tools/check_slo.py
+
+## CI gate: OBS_slo.json must reproduce byte-for-byte and every
+## service objective must hold (unknown rules fail closed).
+slo-check:
+	$(PYTHON) tools/check_slo.py --check
+
+## Refresh the committed merged hot-PC fleet profile.
+fleet-profile:
+	$(PYTHON) tools/profile_report.py --fleet $(FLEET_TRACE_DEVICES)
+
+## CI gate: the fleet profile must reproduce byte-for-byte; on drift
+## the failure names the top-N hot-path churn.
+fleet-profile-check:
+	$(PYTHON) tools/profile_report.py --fleet $(FLEET_TRACE_DEVICES) --check
+
+## Export the merged fleet Perfetto trace (one process per device).
+fleet-trace:
+	$(PYTHON) tools/trace_export.py --fleet $(FLEET_TRACE_DEVICES) -o fleet-trace.json

@@ -40,6 +40,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.obs.fleet import FleetHealthStats, register_fleet_health
+from repro.obs.pipeline import FleetAggregator, parse_heartbeat, shard_telemetry
 
 from .checkpoint import CheckpointStore
 from .plan import FleetPlan, ShardSpec
@@ -82,6 +83,8 @@ class FleetSupervisor:
         chaos_dir: Optional[str] = None,
         registry=None,
         log: Optional[Callable[[str], None]] = None,
+        progress: Optional[Callable[[dict], None]] = None,
+        progress_interval: float = 2.0,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -96,12 +99,62 @@ class FleetSupervisor:
         if registry is not None:
             register_fleet_health(registry, self.health)
         self._log = log if log is not None else (lambda msg: None)
+        #: Live fleet telemetry folded from heartbeat deltas and
+        #: harvested results.  Observability only: the merged report is
+        #: always rebuilt from committed shard results, so a lost or
+        #: stale heartbeat can make this view lag but never skew the
+        #: artifact.
+        self.live = FleetAggregator()
+        self._progress = progress
+        self._progress_interval = progress_interval
+        self._progress_last = 0.0
         #: Cooperative stop flag; a signal handler sets this.
         self.stop_requested = False
 
     def request_stop(self) -> None:
         """Ask the run loop to wind down (signal-handler safe)."""
         self.stop_requested = True
+
+    # ------------------------------------------------------------------
+    # Live telemetry (the streaming leg of the observability pipeline)
+    # ------------------------------------------------------------------
+
+    def _fold_heartbeat(self, state: _ShardState) -> None:
+        """Fold a worker's latest heartbeat delta into the live view.
+
+        Tolerates everything a live channel can throw at it — a file
+        mid-rename, a pre-telemetry plain-text beat, a beat from an
+        earlier attempt — by simply not updating; the aggregator keeps
+        the freshest cumulative block per shard.
+        """
+        paths = self._paths(state.spec.shard_id, state.attempt)
+        try:
+            with open(paths["heartbeat"]) as fh:
+                payload = parse_heartbeat(fh.read())
+        except OSError:
+            return
+        if payload is not None and payload["shard"] == state.spec.shard_id:
+            self.live.ingest(payload)
+
+    def _fold_result(self, shard_id: int, result: dict) -> None:
+        """A harvested shard's final telemetry supersedes its stream."""
+        self.live.update(
+            shard_id, shard_telemetry(result), len(result.get("devices", []))
+        )
+
+    def _emit_progress(self, now: float, force: bool = False) -> None:
+        if self._progress is None:
+            return
+        if not force and now - self._progress_last < self._progress_interval:
+            return
+        self._progress_last = now
+        summary = self.live.summary()
+        summary["shards_completed"] = self.health.shards_completed + (
+            self.health.shards_resumed
+        )
+        summary["shards_total"] = self.health.shards_total
+        summary["quarantined"] = self.health.quarantined
+        self._progress(summary)
 
     # ------------------------------------------------------------------
     # Worker lifecycle
@@ -233,6 +286,8 @@ class FleetSupervisor:
                 if sid in known
             }
             self.health.shards_resumed = len(results)
+            for shard_id in sorted(results):
+                self._fold_result(shard_id, results[shard_id])
             if results:
                 self._log(
                     f"resuming: {len(results)} shard(s) already checkpointed"
@@ -267,6 +322,7 @@ class FleetSupervisor:
                     if code is None:
                         reason = worker.expired(now)
                         if reason is None:
+                            self._fold_heartbeat(state)
                             continue
                         worker.kill()
                         if "heartbeat" in reason:
@@ -287,6 +343,7 @@ class FleetSupervisor:
                         if result is not None:
                             self.store.commit(state.spec.shard_id, result)
                             results[state.spec.shard_id] = result
+                            self._fold_result(state.spec.shard_id, result)
                             self.health.shards_completed += 1
                             self.health.record(
                                 state.spec.shard_id, state.attempt, "completed"
@@ -306,8 +363,10 @@ class FleetSupervisor:
                     else:
                         quarantined[state.spec.shard_id] = verdict
                         self.health.quarantined += 1
+                self._emit_progress(time.monotonic())
                 if pending or running:
                     time.sleep(POLL_INTERVAL)
+            self._emit_progress(time.monotonic(), force=True)
         except FleetInterrupted:
             self.health.interrupted = 1
             self.health.record(-1, 0, "interrupted")

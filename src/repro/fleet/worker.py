@@ -6,8 +6,12 @@ supervisor:
 * ``--spec`` — the :class:`~repro.fleet.plan.ShardSpec` JSON to run;
 * ``--out`` — where to write the result; written atomically (tmp +
   rename), so the supervisor can trust any file that exists;
-* ``--heartbeat`` — touched after every completed device; a wedged
+* ``--heartbeat`` — rewritten after every completed device; a wedged
   worker stops touching it and the supervisor's staleness check fires.
+  The write is a JSON telemetry delta (:mod:`repro.obs.pipeline` wire
+  format): the shard's cumulative counters and latency sketch ride the
+  heartbeat channel, so the supervisor folds live fleet telemetry
+  between harvests at zero extra protocol cost.
 
 Exit status: 0 with a result file on success; anything else is a
 crash the supervisor will retry (the result file, if any, is ignored).
@@ -34,6 +38,8 @@ import json
 import os
 import sys
 import time
+
+from repro.obs.pipeline import heartbeat_payload
 
 from .plan import ShardSpec
 from .shard import run_shard
@@ -75,12 +81,13 @@ def main(argv=None) -> int:
 
     _chaos(spec.shard_id)
 
-    def beat(device_id: int) -> None:
+    def beat(device_id: int, devices_done: int, telemetry: dict) -> None:
         if args.heartbeat is None:
             return
         tmp = args.heartbeat + ".tmp"
         with open(tmp, "w") as fh:
-            fh.write(f"device {device_id}\n")
+            fh.write(heartbeat_payload(spec.shard_id, devices_done, telemetry))
+            fh.write("\n")
         os.replace(tmp, args.heartbeat)
 
     result = run_shard(spec, heartbeat=beat)

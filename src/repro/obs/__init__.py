@@ -23,11 +23,33 @@ exact code path.
 
 from __future__ import annotations
 
-from .export import export_trace, spans_to_trace_events, write_trace
-from .fleet import FleetHealthStats, register_fleet_health
+from .export import (
+    export_fleet_trace,
+    export_trace,
+    fleet_trace_events,
+    spans_to_trace_events,
+    write_fleet_trace,
+    write_trace,
+)
+from .fleet import FleetHealthStats, health_metric_group, register_fleet_health
+from .pipeline import (
+    FleetAggregator,
+    device_telemetry,
+    empty_telemetry,
+    fleet_rollup,
+    merge_telemetry,
+    render_aggregate,
+    shard_telemetry,
+)
+from .sketch import QuantileSketch
+from .slo import evaluate_slo, render_slo, slo_report
 from .profile import (
     CycleAttributor,
     PCProfiler,
+    diff_hot,
+    hot_from_dict,
+    merge_profile_dicts,
+    profile_to_dict,
     render_attribution,
     render_hot_pcs,
 )
@@ -44,20 +66,39 @@ __all__ = [
     "Counter",
     "CycleAttributor",
     "DEFAULT_RING_CAPACITY",
+    "FleetAggregator",
     "FleetHealthStats",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "MetricsSnapshot",
     "PCProfiler",
+    "QuantileSketch",
     "Span",
     "SpanTracer",
     "Telemetry",
+    "device_telemetry",
+    "diff_hot",
+    "empty_telemetry",
+    "evaluate_slo",
+    "export_fleet_trace",
     "export_trace",
+    "fleet_rollup",
+    "fleet_trace_events",
+    "health_metric_group",
+    "hot_from_dict",
+    "merge_profile_dicts",
+    "merge_telemetry",
+    "profile_to_dict",
     "register_fleet_health",
+    "render_aggregate",
     "render_attribution",
     "render_hot_pcs",
+    "render_slo",
+    "shard_telemetry",
+    "slo_report",
     "spans_to_trace_events",
+    "write_fleet_trace",
     "write_trace",
 ]
 

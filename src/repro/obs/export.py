@@ -7,10 +7,11 @@ The output is the JSON-object flavour understood by both
 
 Mapping from this repo's model:
 
-* one Perfetto *process* represents the simulated SoC;
+* one Perfetto *process* represents one simulated SoC (one *device* in
+  a fleet export — see :func:`fleet_trace_events`);
 * each :class:`~repro.obs.span.Span` ``track`` becomes a *thread* row
-  (tids are assigned in first-seen order, with metadata ``M`` events
-  naming them);
+  (tids are assigned in first-seen order **within that process**, with
+  metadata ``M`` events naming them);
 * closed spans export as phase ``"X"`` complete events, instants as
   phase ``"i"``;
 * timestamps convert from cycles to microseconds at the core clock
@@ -20,12 +21,20 @@ Mapping from this repo's model:
 Events are sorted by timestamp so ``ts`` is monotonic in the file —
 ring-buffer eviction and late ``complete()`` records (background
 revoker passes) would otherwise leave them out of order.
+
+Track identity in Perfetto is the *(pid, tid)* pair, so two devices
+both exporting an ``allocator`` track stay on separate rows precisely
+because each device owns a pid and allocates tids in its own
+namespace.  :func:`fleet_trace_events` enforces that: concatenating
+two single-device exports with the default pid would fold same-named
+compartment tracks from different devices onto one row — the
+collision this module exists to prevent.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from .span import Span
 
@@ -37,6 +46,7 @@ def spans_to_trace_events(
     spans: Iterable[Span],
     frequency_mhz: float = 100.0,
     pid: int = DEFAULT_PID,
+    process_name: str = PROCESS_NAME,
 ) -> List[dict]:
     """Convert spans to a sorted ``trace_event`` list with metadata."""
     scale = 1.0 / frequency_mhz  # cycles -> microseconds
@@ -74,7 +84,7 @@ def spans_to_trace_events(
             "name": "process_name",
             "ph": "M",
             "pid": pid,
-            "args": {"name": PROCESS_NAME},
+            "args": {"name": process_name},
         }
     ]
     for track, tid in tids.items():
@@ -88,6 +98,62 @@ def spans_to_trace_events(
             }
         )
     return meta + events
+
+
+def fleet_trace_events(
+    devices: Sequence[Tuple[str, Iterable[Span]]],
+    frequency_mhz: float = 100.0,
+) -> List[dict]:
+    """Merge per-device span sets into one fleet ``trace_event`` list.
+
+    ``devices`` is a sequence of ``(process_name, spans)`` pairs in
+    fleet order.  Device *i* gets pid ``i + 1`` and allocates tids in
+    its own first-seen namespace, so two devices exporting the same
+    compartment track land on distinct ``(pid, tid)`` rows instead of
+    colliding.  Metadata events lead (grouped by device), then every
+    span event sorted by ``(ts, pid, tid)`` — a total order, so the
+    merged file is byte-deterministic for a fixed device order.
+    """
+    meta: List[dict] = []
+    events: List[dict] = []
+    for index, (process_name, spans) in enumerate(devices):
+        for event in spans_to_trace_events(
+            spans, frequency_mhz, pid=index + 1, process_name=process_name
+        ):
+            (meta if event["ph"] == "M" else events).append(event)
+    events.sort(
+        key=lambda e: (e["ts"], e["pid"], e.get("tid", 0), e.get("dur", 0))
+    )
+    return meta + events
+
+
+def export_fleet_trace(
+    devices: Sequence[Tuple[str, Iterable[Span]]],
+    frequency_mhz: float = 100.0,
+    metadata: Optional[dict] = None,
+) -> dict:
+    """The full JSON-object document for a merged fleet of span sets."""
+    document = {
+        "traceEvents": fleet_trace_events(devices, frequency_mhz),
+        "displayTimeUnit": "ms",
+    }
+    if metadata:
+        document["otherData"] = dict(metadata)
+    return document
+
+
+def write_fleet_trace(
+    path: str,
+    devices: Sequence[Tuple[str, Iterable[Span]]],
+    frequency_mhz: float = 100.0,
+    metadata: Optional[dict] = None,
+) -> int:
+    """Write the merged fleet trace to ``path``; returns event count."""
+    document = export_fleet_trace(devices, frequency_mhz, metadata)
+    with open(path, "w") as fh:
+        json.dump(document, fh, indent=1)
+        fh.write("\n")
+    return len(document["traceEvents"])
 
 
 def export_trace(

@@ -15,7 +15,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Tuple
 
-from .registry import MetricsRegistry
+from .registry import MetricsRegistry, harvest_stats
+
+#: The metric-group name the supervisor's health counters live under —
+#: both in a registry (``register_fleet_health``) and in the merged
+#: fleet telemetry report (``health_metric_group``).
+HEALTH_GROUP = "fleet_health"
 
 
 @dataclass
@@ -66,3 +71,15 @@ def register_fleet_health(
 ) -> None:
     """Expose the supervisor's counters under the ``fleet`` group."""
     registry.register_source("fleet", stats, replace=True)
+
+
+def health_metric_group(stats: FleetHealthStats) -> dict:
+    """The supervisor's health as a labelled metric group.
+
+    This is the *merged-report* face of the same :class:`FleetHealthStats`
+    object that writes the ``health.json`` sidecar — one source, two
+    emissions.  It uses the registry's source harvest, so the group is
+    exactly what ``register_fleet_health`` would expose in a snapshot
+    (numeric counters only; the event list stays sidecar-only).
+    """
+    return {HEALTH_GROUP: harvest_stats(stats)}

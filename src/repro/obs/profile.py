@@ -17,13 +17,24 @@ Two independent profilers share the CoreModel cycle clock:
     the hot-PC histogram.  Attach it only while profiling; detached it
     costs nothing (the executor's hook check is a single ``is None``
     branch).
+
+Fleet profiles: :func:`profile_to_dict` serialises one profiler into a
+JSON-shaped histogram (PCs keyed by fixed-width hex, so ``sort_keys``
+yields numeric order), :func:`merge_profile_dicts` folds many devices'
+histograms by per-PC integer addition — commutative and associative,
+like every merge on the byte-reproducible path — and :func:`diff_hot`
+compares the top-N against a committed baseline to catch hot-path
+regressions.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 ROOT_CONTEXT = "app"
+
+#: Schema tag on serialised profiles; bump on shape changes.
+PROFILE_SCHEMA = 1
 
 
 class CycleAttributor:
@@ -116,6 +127,114 @@ class PCProfiler:
             (pc, cycles, self.hits_by_pc[pc], self.text_by_pc.get(pc, "?"))
             for pc, cycles in ranked[:n]
         ]
+
+
+def _pc_key(pc: int, image: str = "") -> str:
+    """Fixed-width hex so lexicographic key order equals PC order.
+
+    ``image`` prefixes the key (``traced-list:0x2000074c``): a raw PC
+    only names an instruction *within one program image*, so profiles
+    of different images must keep separate PC namespaces or the merge
+    would add cycles of unrelated instructions that happen to share an
+    address.
+    """
+    key = f"0x{pc:08x}"
+    return f"{image}:{key}" if image else key
+
+
+def profile_to_dict(profiler: PCProfiler, image: str = "") -> dict:
+    """Serialise one profiler's hot-PC histogram, merge-ready.
+
+    ``image`` names the program the profiler watched; same-image
+    profiles merge per-PC, different images stay disjoint.
+    """
+    pcs = {}
+    for pc in sorted(profiler.cycles_by_pc):
+        pcs[_pc_key(pc, image)] = {
+            "cycles": profiler.cycles_by_pc[pc],
+            "hits": profiler.hits_by_pc.get(pc, 0),
+            "text": profiler.text_by_pc.get(pc, "?"),
+        }
+    return {"schema": PROFILE_SCHEMA, "retired": profiler.retired, "pcs": pcs}
+
+
+def merge_profile_dicts(profiles: Iterable[dict]) -> dict:
+    """Fold per-device profile dicts into one fleet histogram.
+
+    Cycles, hits and retired counts add per PC key; the disassembly
+    text must agree wherever two devices saw the same key (within one
+    image it is a pure function of the program, so disagreement means
+    the inputs mixed different builds under one label and the merge
+    refuses).
+    """
+    merged_pcs: Dict[str, dict] = {}
+    retired = 0
+    for profile in profiles:
+        if profile.get("schema") != PROFILE_SCHEMA:
+            raise ValueError(
+                f"profile schema {profile.get('schema')!r} != {PROFILE_SCHEMA}"
+            )
+        retired += profile["retired"]
+        for key in sorted(profile["pcs"]):
+            entry = profile["pcs"][key]
+            slot = merged_pcs.get(key)
+            if slot is None:
+                merged_pcs[key] = {
+                    "cycles": entry["cycles"],
+                    "hits": entry["hits"],
+                    "text": entry["text"],
+                }
+            else:
+                if slot["text"] != entry["text"]:
+                    raise ValueError(
+                        f"PC {key} text mismatch: "
+                        f"{slot['text']!r} vs {entry['text']!r}"
+                    )
+                slot["cycles"] += entry["cycles"]
+                slot["hits"] += entry["hits"]
+    pcs = {key: merged_pcs[key] for key in sorted(merged_pcs)}
+    return {"schema": PROFILE_SCHEMA, "retired": retired, "pcs": pcs}
+
+
+def hot_from_dict(profile: dict, n: int = 10) -> List[Tuple[str, int, int, str]]:
+    """Top-``n`` PCs of a serialised profile: (key, cycles, hits, text).
+
+    Ties break on the (fixed-width) key so the ranking is total and
+    deterministic.
+    """
+    ranked = sorted(
+        profile["pcs"].items(),
+        key=lambda item: (-item[1]["cycles"], item[0]),
+    )
+    return [
+        (key, entry["cycles"], entry["hits"], entry["text"])
+        for key, entry in ranked[:n]
+    ]
+
+
+def diff_hot(baseline: dict, current: dict, n: int = 10) -> List[str]:
+    """Human-oriented top-``n`` drift between two serialised profiles.
+
+    Returns one line per difference (empty list: the hot sets agree):
+    PCs that entered or left the top-``n``, and per-PC cycle drift for
+    PCs present in both rankings.
+    """
+    base_hot = {key: (cycles, text) for key, cycles, _, text in hot_from_dict(baseline, n)}
+    cur_hot = {key: (cycles, text) for key, cycles, _, text in hot_from_dict(current, n)}
+    lines = []
+    for key in sorted(base_hot.keys() | cur_hot.keys()):
+        if key not in cur_hot:
+            cycles, text = base_hot[key]
+            lines.append(f"{key} left top-{n} (was {cycles:,} cyc, {text})")
+        elif key not in base_hot:
+            cycles, text = cur_hot[key]
+            lines.append(f"{key} entered top-{n} ({cycles:,} cyc, {text})")
+        elif base_hot[key][0] != cur_hot[key][0]:
+            lines.append(
+                f"{key} cycles {base_hot[key][0]:,} -> {cur_hot[key][0]:,} "
+                f"({cur_hot[key][1]})"
+            )
+    return lines
 
 
 def render_attribution(

@@ -26,6 +26,8 @@ from __future__ import annotations
 from dataclasses import fields, is_dataclass
 from typing import Callable, Dict, Iterable, Optional, Sequence, Tuple
 
+from .sketch import is_sketch_dict, merge_sketch_dicts, normalize_sketch_dict
+
 _NUMERIC = (int, float)
 
 #: Default histogram bucket upper bounds: powers of two spanning the
@@ -75,6 +77,26 @@ class Counter:
             return {key: child.value for key, child in self._children.items()}
         return self.value
 
+    def merge(self, other: "Counter") -> "Counter":
+        """Fold another counter of the same shape into this one."""
+        if other.label_names != self.label_names:
+            raise ValueError(
+                f"cannot merge counter {other.name!r} (labels "
+                f"{other.label_names}) into {self.name!r} ({self.label_names})"
+            )
+        self.value += other.value
+        for key in sorted(other._children):
+            child = self._children.get(key)
+            if child is None:
+                child = Counter(f"{self.name}{{{key}}}", self.help)
+                self._children[key] = child
+            child.value += other._children[key].value
+        return self
+
+    def to_delta(self, earlier) -> "int | dict":
+        """This counter's collected value minus an earlier ``collect()``."""
+        return delta_values(self.collect(), earlier)
+
 
 class Gauge:
     """A value that can go up or down — or be computed on demand."""
@@ -104,6 +126,22 @@ class Gauge:
 
     def collect(self):
         return self.fn() if self.fn is not None else self.value
+
+    def merge(self, other: "Gauge") -> "Gauge":
+        """Fleet-fold semantics for gauges: *additive*.
+
+        A fleet of devices each reporting "live bytes" merges to the
+        fleet's total live bytes; non-additive gauges do not belong in
+        a merged aggregate.  Callback-backed gauges merge by their
+        collected value.
+        """
+        if self.fn is not None:
+            raise ValueError(f"gauge {self.name} is callback-backed")
+        self.value += other.collect()
+        return self
+
+    def to_delta(self, earlier):
+        return delta_values(self.collect(), earlier)
 
 
 class Histogram:
@@ -148,6 +186,22 @@ class Histogram:
         buckets["overflow"] = self.bucket_counts[-1]
         return {"count": self.count, "sum": self.sum, "buckets": buckets}
 
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold another histogram with the identical bucket layout."""
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"cannot merge histogram {other.name!r} (bounds "
+                f"{other.bounds}) into {self.name!r} ({self.bounds})"
+            )
+        for i, count in enumerate(other.bucket_counts):
+            self.bucket_counts[i] += count
+        self.count += other.count
+        self.sum += other.sum
+        return self
+
+    def to_delta(self, earlier):
+        return delta_values(self.collect(), earlier)
+
 
 def _harvest(stats) -> dict:
     """The numeric fields of a stats object, as a plain dict.
@@ -162,6 +216,82 @@ def _harvest(stats) -> dict:
     else:
         pairs = vars(stats).items()
     return {name: value for name, value in pairs if isinstance(value, _NUMERIC)}
+
+
+def merge_values(a, b):
+    """Deterministically merge two JSON-shaped metric values.
+
+    The fleet-fold algebra: numbers add, nested dicts merge recursively
+    (missing keys are identity), serialized quantile sketches merge by
+    per-bin addition.  The operation is commutative and associative
+    with ``{}``/``0`` as identity — the laws the property tests pin —
+    so folding any shard split of the same snapshots yields the
+    identical aggregate.
+    """
+    if is_sketch_dict(a) or is_sketch_dict(b):
+        if not (is_sketch_dict(a) and is_sketch_dict(b)):
+            raise ValueError("cannot merge a sketch with a non-sketch value")
+        return merge_sketch_dicts(a, b)
+    if isinstance(a, dict) and isinstance(b, dict):
+        out = {}
+        for key in sorted(set(a) | set(b)):
+            if key in a and key in b:
+                out[key] = merge_values(a[key], b[key])
+            else:
+                out[key] = _merge_single(a[key] if key in a else b[key])
+        return out
+    if isinstance(a, _NUMERIC) and isinstance(b, _NUMERIC):
+        return a + b
+    raise ValueError(
+        f"cannot merge values of kinds {type(a).__name__}/{type(b).__name__}"
+    )
+
+
+def _merge_single(value):
+    """A one-sided merge: a canonical copy of ``value`` (identity law)."""
+    if is_sketch_dict(value):
+        return normalize_sketch_dict(value)
+    if isinstance(value, dict):
+        return merge_values(value, {})
+    if isinstance(value, _NUMERIC):
+        return value
+    raise ValueError(f"cannot merge value of kind {type(value).__name__}")
+
+
+def delta_values(now, before):
+    """``now - before`` over the same JSON shapes ``merge_values`` folds.
+
+    The inverse used for streaming: a worker ships deltas between
+    consecutive snapshots, and ``merge_values(before, delta) == now``
+    for counter-like (monotone) values.  Sketch leaves are shipped
+    whole (bin counts only grow, and merging an older sketch into a
+    newer one is not meaningful), so their delta *is* ``now``.
+    """
+    if is_sketch_dict(now):
+        return now
+    if isinstance(now, dict):
+        out = {}
+        for key in sorted(now):
+            prior = before.get(key) if isinstance(before, dict) else None
+            if isinstance(now[key], dict):
+                out[key] = delta_values(now[key], prior if prior is not None else {})
+            elif isinstance(now[key], _NUMERIC):
+                out[key] = now[key] - (prior if isinstance(prior, _NUMERIC) else 0)
+        return out
+    if isinstance(now, _NUMERIC):
+        return now - (before if isinstance(before, _NUMERIC) else 0)
+    raise ValueError(f"cannot delta value of kind {type(now).__name__}")
+
+
+def harvest_stats(stats) -> dict:
+    """Public face of the source harvest (numeric fields as a dict).
+
+    Consumers that emit a stats object *outside* a registry — e.g. the
+    fleet campaign folding :class:`~repro.obs.fleet.FleetHealthStats`
+    into its merged telemetry report — use this so there is exactly one
+    definition of "the metric view of a stats object".
+    """
+    return _harvest(stats)
 
 
 class MetricsSnapshot:
@@ -192,6 +322,14 @@ class MetricsSnapshot:
 
         walk("", self.values)
         return out
+
+    def merge(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Fold another snapshot into a new one (fleet-fold algebra)."""
+        return MetricsSnapshot(merge_values(self.values, other.values))
+
+    def to_delta(self, earlier: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Alias for :meth:`diff` — the streaming wire format's verb."""
+        return self.diff(earlier)
 
     def diff(self, earlier: "MetricsSnapshot") -> "MetricsSnapshot":
         """Numeric deltas ``self - earlier``, same nested shape.

@@ -112,6 +112,46 @@ def run_kernel_phase(
     return system.core_model.cycles - before
 
 
+#: Kernel rotation for the fleet workload: device i profiles kernel
+#: ``FLEET_KERNELS[i % 3]``, so a small fleet still covers every
+#: Table-3 kernel in the merged exports.
+FLEET_KERNELS = ("list", "matrix", "state")
+
+
+def fleet_device_name(index: int) -> str:
+    """The Perfetto process name for fleet workload device ``index``."""
+    return f"cheriot-sim/device-{index}"
+
+
+def run_fleet_workloads(
+    devices: int = 3,
+    core: CoreKind = CoreKind.IBEX,
+    rounds: int = 40,
+    iterations: int = 1,
+) -> list:
+    """Run the traced workload once per fleet device, in device order.
+
+    Returns ``[(name, result), ...]`` where ``result`` is a
+    :func:`run_traced_workload` dict.  Device *i* profiles kernel
+    ``FLEET_KERNELS[i % 3]``; everything else is identical, so the
+    merged exports are a pure function of ``(devices, core, rounds,
+    iterations)`` — which is what lets ``OBS_fleet_profile.json`` be a
+    committed, byte-reproducible baseline.
+    """
+    return [
+        (
+            fleet_device_name(index),
+            run_traced_workload(
+                core=core,
+                rounds=rounds,
+                kernel=FLEET_KERNELS[index % len(FLEET_KERNELS)],
+                iterations=iterations,
+            ),
+        )
+        for index in range(devices)
+    ]
+
+
 def run_traced_workload(
     telemetry: bool = True,
     core: CoreKind = CoreKind.IBEX,

@@ -55,3 +55,64 @@ class TestTraceEvents:
         assert count == len(doc["traceEvents"]) == len(SPANS) + 3
         ts = [e["ts"] for e in doc["traceEvents"] if e.get("ph") != "M"]
         assert ts == sorted(ts)
+
+
+class TestFleetTrace:
+    """Merged multi-device export: per-device pid + tid namespaces."""
+
+    DEVICES = [
+        ("cheriot-sim/device-0", SPANS),
+        ("cheriot-sim/device-1", SPANS),  # same tracks on purpose
+    ]
+
+    def test_same_track_on_two_devices_cannot_collide(self):
+        from repro.obs import fleet_trace_events
+
+        events = fleet_trace_events(self.DEVICES)
+        meta = [e for e in events if e["ph"] == "M"]
+        rows = {}
+        for event in meta:
+            if event["name"] == "thread_name":
+                rows.setdefault(event["args"]["name"], set()).add(
+                    (event["pid"], event["tid"])
+                )
+        # Both devices export "rtos"/"revoker"; every row is distinct.
+        assert len(rows["rtos"]) == 2
+        assert len(rows["revoker"]) == 2
+        assert not (rows["rtos"] & rows["revoker"])
+
+    def test_each_device_is_its_own_process(self):
+        from repro.obs import fleet_trace_events
+
+        events = fleet_trace_events(self.DEVICES)
+        names = {
+            e["pid"]: e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert names == {
+            1: "cheriot-sim/device-0", 2: "cheriot-sim/device-1",
+        }
+        data_pids = {e["pid"] for e in events if e["ph"] != "M"}
+        assert data_pids == {1, 2}
+
+    def test_merged_events_are_sorted_and_deterministic(self):
+        from repro.obs import export_fleet_trace, fleet_trace_events
+
+        events = fleet_trace_events(self.DEVICES)
+        data = [e for e in events if e["ph"] != "M"]
+        keys = [(e["ts"], e["pid"], e.get("tid", 0)) for e in data]
+        assert keys == sorted(keys)
+        doc = export_fleet_trace(self.DEVICES, metadata={"devices": 2})
+        assert doc["otherData"] == {"devices": 2}
+        assert fleet_trace_events(self.DEVICES) == events
+
+    def test_write_fleet_trace_round_trips(self, tmp_path):
+        from repro.obs import write_fleet_trace
+
+        path = tmp_path / "fleet.json"
+        count = write_fleet_trace(str(path), self.DEVICES)
+        doc = json.loads(path.read_text())
+        assert count == len(doc["traceEvents"])
+        # 2 devices x (1 process_name + 2 thread_name + 3 spans).
+        assert count == 2 * 6

@@ -98,3 +98,59 @@ class TestPCProfiler:
         profiler.detach(cpu)
         cpu.run()
         assert profiler.retired == 1
+
+
+class TestProfileMerge:
+    """Serialised hot-PC histograms: merge algebra and top-N diffing."""
+
+    def _profiled(self, source):
+        _, profiler = _run_profiled(source)
+        return profiler
+
+    def test_round_trip_and_image_namespacing(self):
+        from repro.obs import profile_to_dict
+
+        profiler = self._profiled("li a0, 2\nloop: addi a0, a0, -1\nbnez a0, loop\nhalt")
+        bare = profile_to_dict(profiler)
+        named = profile_to_dict(profiler, image="traced-list")
+        assert bare["retired"] == named["retired"] == profiler.retired
+        assert sorted(named["pcs"]) == [
+            f"traced-list:{key}" for key in sorted(bare["pcs"])
+        ]
+
+    def test_merge_adds_same_image_and_keeps_images_disjoint(self):
+        from repro.obs import merge_profile_dicts, profile_to_dict
+
+        source = "li a0, 2\nloop: addi a0, a0, -1\nbnez a0, loop\nhalt"
+        a = profile_to_dict(self._profiled(source), image="list")
+        b = profile_to_dict(self._profiled(source), image="list")
+        c = profile_to_dict(self._profiled(source), image="matrix")
+        merged = merge_profile_dicts([a, b, c])
+        assert merged["retired"] == a["retired"] * 3
+        key = sorted(a["pcs"])[0]
+        assert merged["pcs"][key]["cycles"] == 2 * a["pcs"][key]["cycles"]
+        other = key.replace("list", "matrix", 1)
+        assert merged["pcs"][other]["cycles"] == a["pcs"][key]["cycles"]
+
+    def test_merge_refuses_mixed_builds_under_one_image(self):
+        import pytest
+
+        from repro.obs import merge_profile_dicts, profile_to_dict
+
+        a = profile_to_dict(self._profiled("li a0, 1\nhalt"), image="x")
+        b = profile_to_dict(self._profiled("li a1, 1\nhalt"), image="x")
+        with pytest.raises(ValueError):
+            merge_profile_dicts([a, b])
+
+    def test_diff_hot_names_the_churn(self):
+        from repro.obs import diff_hot, profile_to_dict
+
+        base = profile_to_dict(
+            self._profiled("li a0, 9\nloop: addi a0, a0, -1\nbnez a0, loop\nhalt")
+        )
+        cur = profile_to_dict(
+            self._profiled("li a0, 3\nloop: addi a0, a0, -1\nbnez a0, loop\nhalt")
+        )
+        assert diff_hot(base, base, 5) == []
+        lines = diff_hot(base, cur, 5)
+        assert lines and any("cycles" in line for line in lines)

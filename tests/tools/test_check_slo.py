@@ -1,0 +1,155 @@
+"""The SLO gate tool: regenerate, byte-compare, fail closed."""
+
+import importlib.util
+import json
+import os
+import sys
+
+import pytest
+
+REPO = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+)
+
+#: Small plan so the module stays fast (the stock plan is CI's job).
+SMALL = ["--devices", "4", "--shard-size", "2",
+         "--injections", "1", "--alloc-ops", "4"]
+
+
+@pytest.fixture(scope="module")
+def check_slo():
+    spec = importlib.util.spec_from_file_location(
+        "check_slo", os.path.join(REPO, "tools", "check_slo.py")
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["check_slo"] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture()
+def small_baseline(check_slo, tmp_path):
+    """A freshly generated small-plan baseline + its policy."""
+    policy = tmp_path / "policy.json"
+    policy.write_text(json.dumps({
+        "version": 1,
+        "rules": [
+            {"rule": "fault-escapes", "max": 0},
+            {"rule": "degraded-ceiling", "max_fraction": 0.0},
+        ],
+    }))
+    baseline = tmp_path / "OBS_slo.json"
+    rc = check_slo.main(
+        SMALL + ["--policy", str(policy), "--baseline", str(baseline)]
+    )
+    assert rc == 0
+    return policy, baseline
+
+
+class TestGate:
+    def test_regenerated_baseline_passes_the_check(
+        self, check_slo, small_baseline
+    ):
+        policy, baseline = small_baseline
+        assert check_slo.main(
+            SMALL + ["--policy", str(policy), "--baseline", str(baseline),
+                     "--check"]
+        ) == 0
+
+    def test_tampered_baseline_is_drift(self, check_slo, small_baseline):
+        policy, baseline = small_baseline
+        doc = json.loads(baseline.read_text())
+        doc["aggregate"]["counters"]["calls"] += 1
+        baseline.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        assert check_slo.main(
+            SMALL + ["--policy", str(policy), "--baseline", str(baseline),
+                     "--check"]
+        ) == 1
+
+    def test_violated_objective_fails_even_when_bytes_match(
+        self, check_slo, tmp_path
+    ):
+        """A policy that cannot hold produces a failing report; --check
+        must flag it even if the committed baseline records the same
+        failure (a red baseline is not a green gate)."""
+        policy = tmp_path / "policy.json"
+        policy.write_text(json.dumps({
+            "version": 1,
+            "rules": [{"rule": "throughput-floor",
+                       "min_calls_per_kcycle": 10**6}],
+        }))
+        baseline = tmp_path / "OBS_slo.json"
+        assert check_slo.main(
+            SMALL + ["--policy", str(policy), "--baseline", str(baseline)]
+        ) == 1
+        assert check_slo.main(
+            SMALL + ["--policy", str(policy), "--baseline", str(baseline),
+                     "--check"]
+        ) == 1
+
+    def test_unknown_rule_fails_closed_through_the_tool(
+        self, check_slo, tmp_path
+    ):
+        policy = tmp_path / "policy.json"
+        policy.write_text(json.dumps({
+            "version": 1, "rules": [{"rule": "made-up-objective"}],
+        }))
+        baseline = tmp_path / "OBS_slo.json"
+        assert check_slo.main(
+            SMALL + ["--policy", str(policy), "--baseline", str(baseline)]
+        ) == 1
+
+    def test_missing_baseline_is_usage_error(self, check_slo, tmp_path):
+        policy = tmp_path / "policy.json"
+        policy.write_text(json.dumps({
+            "version": 1, "rules": [{"rule": "fault-escapes", "max": 0}],
+        }))
+        assert check_slo.main(
+            SMALL + ["--policy", str(policy),
+                     "--baseline", str(tmp_path / "nope.json"), "--check"]
+        ) == 2
+
+    def test_results_from_checkpoints(self, check_slo, small_baseline, tmp_path):
+        """Shard results harvested from a checkpoint dir gate
+        identically to a fresh serial rebuild."""
+        from repro.fleet import CheckpointStore, FleetPlan, run_shard
+
+        policy, baseline = small_baseline
+        plan = FleetPlan(devices=4, shard_size=2,
+                         injections_per_device=1, alloc_ops=4)
+        store = CheckpointStore(str(tmp_path / "ckpt"))
+        store.bind(plan, resume=False)
+        for spec in plan.shards():
+            store.commit(spec.shard_id, run_shard(spec))
+        assert check_slo.main(
+            SMALL + ["--policy", str(policy), "--baseline", str(baseline),
+                     "--check", "--results-from", str(tmp_path / "ckpt")]
+        ) == 0
+
+    def test_incomplete_checkpoints_are_refused(
+        self, check_slo, small_baseline, tmp_path
+    ):
+        from repro.fleet import CheckpointStore, FleetPlan, run_shard
+
+        policy, baseline = small_baseline
+        plan = FleetPlan(devices=4, shard_size=2,
+                         injections_per_device=1, alloc_ops=4)
+        store = CheckpointStore(str(tmp_path / "ckpt"))
+        store.bind(plan, resume=False)
+        store.commit(0, run_shard(plan.shards()[0]))  # shard 1 missing
+        with pytest.raises(SystemExit):
+            check_slo.main(
+                SMALL + ["--policy", str(policy), "--baseline", str(baseline),
+                         "--check", "--results-from", str(tmp_path / "ckpt")]
+            )
+
+
+class TestCommittedArtifacts:
+    def test_committed_slo_baseline_is_fresh_and_green(self, check_slo):
+        """The repo's own OBS_slo.json must reproduce and pass."""
+        cwd = os.getcwd()
+        os.chdir(REPO)
+        try:
+            assert check_slo.main(["--check"]) == 0
+        finally:
+            os.chdir(cwd)

@@ -1,0 +1,211 @@
+#!/usr/bin/env python3
+"""SLO gate: evaluate ``OBS_slo_policy.json`` over the fleet aggregate.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python tools/check_slo.py             # refresh OBS_slo.json
+    PYTHONPATH=src python tools/check_slo.py --check     # the CI/make gate
+    PYTHONPATH=src python tools/check_slo.py --check --jobs 2
+    PYTHONPATH=src python tools/check_slo.py --check --results-from DIR
+
+The tool rebuilds the stock fleet plan's shard results, folds them into
+the deterministic aggregate (:func:`repro.obs.pipeline.fleet_rollup`),
+evaluates the declarative SLO policy over it
+(:func:`repro.obs.slo.evaluate_slo` — unknown rules fail closed), and
+renders the committed ``OBS_slo.json``.
+
+``--check`` regenerates the report and compares it against the
+committed baseline **byte for byte**, then additionally requires every
+rule to pass — so the gate catches both drift (any number moved) and
+regression (an objective violated).  Because every number derives from
+simulated cycles, the bytes must be identical however the results were
+produced:
+
+* default — serial in-process execution (the reference);
+* ``--jobs N`` — a supervised worker-pool run (job-count independence);
+* ``--results-from DIR`` — shard results harvested from a checkpoint
+  directory, e.g. one assembled across an interrupt/resume split
+  (split independence).  The directory's manifest must match the
+  baseline plan and cover every shard.
+
+Exit status: 0 all green; 1 drift or violated objective; 2 unusable
+baseline/policy.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.fleet import (  # noqa: E402
+    CheckpointStore,
+    FleetPlan,
+    FleetSupervisor,
+    RetryPolicy,
+    run_shard,
+)
+from repro.obs.pipeline import fleet_rollup  # noqa: E402
+from repro.obs.slo import (  # noqa: E402
+    PolicyError,
+    load_policy,
+    render_slo,
+    slo_report,
+)
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from _baseline import BaselineError, first_divergence, load_baseline  # noqa: E402
+
+REGEN_HINT = "PYTHONPATH=src python tools/check_slo.py"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--policy", default="OBS_slo_policy.json")
+    parser.add_argument("--baseline", default="OBS_slo.json")
+    parser.add_argument(
+        "--check", action="store_true",
+        help="gate mode: compare bytes against the baseline and require "
+        "every objective to pass",
+    )
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=1,
+        help="rebuild results with a supervised worker pool of this size "
+        "(default: 1 = serial in-process)",
+    )
+    parser.add_argument(
+        "--results-from", default=None, metavar="DIR",
+        help="fold shard results from this checkpoint directory instead "
+        "of recomputing them",
+    )
+    parser.add_argument("--devices", type=int, default=8)
+    parser.add_argument("--shard-size", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=20260807)
+    parser.add_argument("--injections", type=int, default=3)
+    parser.add_argument("--alloc-ops", type=int, default=12)
+    return parser
+
+
+def _build_results(plan: FleetPlan, args) -> dict:
+    """Shard results by the route the flags pick; content is identical."""
+    if args.results_from:
+        store = CheckpointStore(args.results_from)
+        manifest = store._read_manifest()
+        if manifest is None:
+            raise SystemExit(
+                f"no manifest in {args.results_from!r}; not a checkpoint dir"
+            )
+        if manifest.get("fingerprint") != plan.fingerprint():
+            raise SystemExit(
+                f"checkpoint dir {args.results_from!r} holds plan "
+                f"{manifest.get('fingerprint')!r}, expected "
+                f"{plan.fingerprint()!r}"
+            )
+        results = store.completed()
+        missing = [
+            spec.shard_id for spec in plan.shards()
+            if spec.shard_id not in results
+        ]
+        if missing:
+            raise SystemExit(
+                f"checkpoint dir {args.results_from!r} is incomplete: "
+                f"missing shards {missing} — finish the run with --resume"
+            )
+        return results
+    if args.jobs > 1:
+        with tempfile.TemporaryDirectory(prefix="slo-ckpt-") as ckpt:
+            supervisor = FleetSupervisor(
+                plan,
+                CheckpointStore(ckpt),
+                jobs=args.jobs,
+                retry=RetryPolicy(seed=args.seed),
+                log=lambda msg: print(f"  {msg}", file=sys.stderr),
+            )
+            results, quarantined = supervisor.run()
+        if quarantined:
+            raise SystemExit(
+                f"supervised rebuild quarantined shards "
+                f"{sorted(quarantined)}; SLO input would be partial"
+            )
+        return results
+    return {spec.shard_id: run_shard(spec) for spec in plan.shards()}
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+
+    try:
+        policy = load_policy(
+            load_baseline(args.policy, hint="the policy file is committed; "
+                          "restore it from git")
+        )
+    except (BaselineError, PolicyError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
+    plan = FleetPlan(
+        devices=args.devices,
+        shard_size=args.shard_size,
+        seed=args.seed,
+        injections_per_device=args.injections,
+        alloc_ops=args.alloc_ops,
+    )
+
+    results = _build_results(plan, args)
+    aggregate = fleet_rollup(plan, results, {})
+    report = slo_report(plan, aggregate, policy)
+    rendered = render_slo(report)
+
+    for result in report["slo"]["results"]:
+        mark = "ok" if result["ok"] else "FAIL"
+        params = " ".join(
+            f"{key}={value}" for key, value in result["params"].items()
+        )
+        line = f"  [{mark}] {result['rule']}"
+        if params:
+            line += f" ({params})"
+        line += f": observed {result['observed']} vs bound {result['bound']}"
+        if result.get("detail"):
+            line += f" — {result['detail']}"
+        print(line)
+
+    if not args.check:
+        with open(args.baseline, "w") as fh:
+            fh.write(rendered)
+        print(f"wrote {args.baseline}")
+        return 0 if report["slo"]["passed"] else 1
+
+    try:
+        baseline = load_baseline(args.baseline, hint=REGEN_HINT)
+    except BaselineError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
+    failed = False
+    if render_slo(baseline) != rendered:
+        where = first_divergence(baseline, report) or "(byte-level only)"
+        print(f"SLO report drifted at: {where}", file=sys.stderr)
+        print(
+            f"if the change is intentional, refresh with: {REGEN_HINT}",
+            file=sys.stderr,
+        )
+        failed = True
+    if not report["slo"]["passed"]:
+        broken = [r["rule"] for r in report["slo"]["results"] if not r["ok"]]
+        print(f"SLO objectives violated: {broken}", file=sys.stderr)
+        failed = True
+    if failed:
+        return 1
+    print("SLO report reproduces byte-identically; every objective holds")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

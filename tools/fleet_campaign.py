@@ -23,6 +23,22 @@ quarantined shards) is wall-clock territory, so it is written to the
 Quarantined shards additionally appear in the report's ``degraded``
 list: a partial fleet yields a complete, annotated report.
 
+Two observability artifacts ride along:
+
+* **Live streaming** — workers piggyback cumulative telemetry deltas
+  on their heartbeat files; the supervisor folds them into a live
+  fleet aggregate and progress lines (devices done, calls, latency
+  p50/p99, escaped count) stream to stderr *during* the run.
+* **Merged telemetry report** (``--telemetry-out``, default
+  ``fleet-telemetry.json``) — the deterministic fleet aggregate from
+  :func:`repro.obs.pipeline.fleet_rollup` plus the supervisor's
+  :class:`~repro.obs.fleet.FleetHealthStats` as a first-class
+  ``fleet_health`` metric group under ``host`` — emitted from the very
+  object that writes the ``health.json`` sidecar, so the two can never
+  disagree.  The ``host`` group is wall-clock territory and therefore
+  lives outside the byte-stable ``aggregate`` (which is identical for
+  any ``--jobs`` value; ``tools/check_slo.py`` gates it).
+
 ``--serial`` runs every shard in-process (no worker pool, no
 supervision) — the reference execution the chaos tests compare
 against.  ``--check`` exits non-zero if any injection escaped or any
@@ -56,6 +72,8 @@ from repro.fleet import (  # noqa: E402
     render_report,
     run_shard,
 )
+from repro.obs.fleet import FleetHealthStats, health_metric_group  # noqa: E402
+from repro.obs.pipeline import fleet_rollup  # noqa: E402
 
 #: Exit codes: distinguish "interrupted, resume me" from real failure.
 EXIT_GATE_FAILED = 1
@@ -99,6 +117,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--health", default=None,
         help="orchestrator health JSON (default: <checkpoint-dir>/health.json)",
+    )
+    parser.add_argument(
+        "--telemetry-out", default="fleet-telemetry.json",
+        help="merged fleet telemetry report (aggregate + host health; "
+        "empty string disables; default: %(default)s)",
+    )
+    parser.add_argument(
+        "--no-stream", action="store_true",
+        help="suppress the live telemetry progress lines",
     )
     parser.add_argument(
         "--serial", action="store_true",
@@ -150,6 +177,12 @@ def main(argv=None) -> int:
         }
         quarantined = {}
         health = None
+        # The one-source health object for the telemetry report: a
+        # serial run has no supervisor, so its health is the trivial
+        # "everything completed in-process" record.
+        health_stats = FleetHealthStats(
+            shards_total=len(results), shards_completed=len(results)
+        )
     else:
         tmp_ctx = None
         ckpt_dir = args.checkpoint_dir
@@ -161,6 +194,19 @@ def main(argv=None) -> int:
         if _write_chaos_tokens(chaos_tmp.name, args):
             chaos_dir = chaos_tmp.name
 
+        def stream_progress(summary: dict) -> None:
+            print(
+                "  [stream] "
+                f"{summary['devices_done']}/{plan.devices} devices "
+                f"({summary['shards_completed']}/{summary['shards_total']} "
+                f"shards done), {summary['calls']} calls, "
+                f"latency p50/p99 ≈ {summary['latency_p50']}/"
+                f"{summary['latency_p99']} cyc, "
+                f"{summary['injections']} injections / "
+                f"{summary['escaped']} escaped",
+                file=sys.stderr,
+            )
+
         supervisor = FleetSupervisor(
             plan,
             CheckpointStore(ckpt_dir),
@@ -170,6 +216,7 @@ def main(argv=None) -> int:
             retry=RetryPolicy(max_attempts=args.max_attempts, seed=args.seed),
             chaos_dir=chaos_dir,
             log=lambda msg: print(f"  {msg}", file=sys.stderr),
+            progress=None if args.no_stream else stream_progress,
         )
 
         def on_signal(signum, frame):
@@ -191,9 +238,11 @@ def main(argv=None) -> int:
                 tmp_ctx.cleanup()
 
         health = supervisor.health.to_dict()
+        health_stats = supervisor.health
         _write_health(args, ckpt_dir if args.checkpoint_dir else None, health)
 
     report = merge_report(plan, results, quarantined)
+    _write_telemetry(args, plan, results, quarantined, health_stats)
     payload = render_report(report)
     if args.output == "-":
         sys.stdout.write(payload)
@@ -233,6 +282,21 @@ def main(argv=None) -> int:
         if failed:
             return EXIT_GATE_FAILED
     return 0
+
+
+def _write_telemetry(args, plan, results, quarantined, health_stats) -> None:
+    """The merged telemetry report: byte-stable aggregate + host group."""
+    if not args.telemetry_out:
+        return
+    document = {
+        "schema": 1,
+        "aggregate": fleet_rollup(plan, results, quarantined),
+        "host": health_metric_group(health_stats),
+    }
+    with open(args.telemetry_out, "w") as fh:
+        json.dump(document, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.telemetry_out}")
 
 
 def _write_health(args, ckpt_dir, health: dict) -> None:

@@ -56,12 +56,19 @@ DETERMINISTIC_PATHS = [
     "src/repro/fleet/plan.py",
     "src/repro/fleet/shard.py",
     "src/repro/faultinject/*.py",
+    "src/repro/obs/export.py",
+    "src/repro/obs/pipeline.py",
+    "src/repro/obs/profile.py",
+    "src/repro/obs/registry.py",
+    "src/repro/obs/sketch.py",
+    "src/repro/obs/slo.py",
     "src/repro/rtos/audit.py",
     "src/repro/verify/*.py",
     "tools/_baseline.py",
     "tools/capaudit.py",
     "tools/check_fault_regression.py",
     "tools/check_fleet_regression.py",
+    "tools/check_slo.py",
     "tools/fault_campaign.py",
     "tools/run_benchmarks.py",
 ]
