@@ -16,15 +16,20 @@ FLEET_JOBS ?= 2
 ## Worker processes for `make audit` (one image verification per worker).
 AUDIT_JOBS ?= 2
 
+## Worker processes for `make net` / `make net-check` (one sweep point
+## per worker; the bytes are identical for any value).
+NET_JOBS ?= 2
+
 ## Devices merged into the fleet Perfetto trace / fleet profile.
 FLEET_TRACE_DEVICES ?= 3
 
 .PHONY: test ci bench bench-speed bench-check faults faults-check \
 	fleet fleet-check profile trace lint audit audit-refresh \
-	slo slo-check fleet-profile fleet-profile-check fleet-trace
+	slo slo-check fleet-profile fleet-profile-check fleet-trace \
+	net net-check
 
 test: lint faults-check bench-check fleet-check audit slo-check \
-		fleet-profile-check
+		fleet-profile-check net-check
 	$(PYTHON) -m pytest -x -q
 
 ## What CI runs: the regression gates plus the full test suite.
@@ -93,6 +98,17 @@ profile:
 ## Export a Perfetto trace of the reference telemetry workload.
 trace:
 	$(PYTHON) tools/trace_export.py -o $(TRACE)
+
+## Run the scaled network-stack sweep (zero-copy vs copying at 1..2048
+## concurrent sessions) and refresh the committed BENCH_net.json.
+net:
+	$(PYTHON) tools/net_bench.py --jobs $(NET_JOBS)
+
+## CI gate: BENCH_net.json must reproduce byte-for-byte (any job
+## count), and zero-copy must stay >= 2x cheaper in per-packet stack
+## cycles at >= 1024 concurrent sessions.
+net-check:
+	$(PYTHON) tools/check_net_regression.py --jobs $(NET_JOBS)
 
 ## Evaluate OBS_slo_policy.json over the stock fleet plan and refresh
 ## the committed OBS_slo.json (byte-identical for any execution route).

@@ -1,7 +1,7 @@
 """One simulated device's metric sample.
 
 A *device* is a fresh :class:`~repro.machine.System` driven through
-three phases, every one clocked in simulated cycles (never wall time):
+four phases, every one clocked in simulated cycles (never wall time):
 
 1. **Allocation traffic** — a seeded malloc/free mix through the
    compartment switcher; each cross-compartment call's cycle cost
@@ -17,6 +17,13 @@ three phases, every one clocked in simulated cycles (never wall time):
 3. **Revocation** — frees push chunks through quarantine, then a
    forced sweep measures the revoker's share of the device's cycles
    (the duty-cycle column).
+4. **Network traffic** — a small zero-copy receive pipeline
+   (:class:`repro.iot.sessions.NetPipeline` on its *own* fresh
+   system, so phases 1–3 stay byte-identical to older reports) takes
+   a few seeded rounds of multi-session traffic with corrupt/reorder
+   faults injected.  The phase ships its flat counters and an
+   already-folded per-packet latency sketch — never raw samples — so
+   the fleet-fold merges it exactly like every other metric.
 
 Finally a per-device fault-campaign slice
 (:func:`repro.faultinject.run_campaign` with the device seed) yields
@@ -41,6 +48,14 @@ from repro.machine import System
 from repro.pipeline import CoreKind
 
 from .plan import device_seed
+
+#: Net-traffic phase shape: a handful of sessions and rounds is enough
+#: to exercise sequencing, TLS, fault drops and the latency sketch per
+#: device without dominating its runtime.
+_NET_SESSIONS = 4
+_NET_ROUNDS = 5
+_NET_CORRUPT_RATE = 0.15
+_NET_REORDER_RATE = 0.15
 
 #: Allocation sizes the traffic phase draws from (all precisely
 #: representable, so no device's numbers depend on encoding rounding).
@@ -111,6 +126,36 @@ def latency_summary(samples: List[int]) -> Dict[str, object]:
     }
 
 
+def _run_net_phase(spec: DeviceSpec) -> dict:
+    """The network-traffic phase: a seeded zero-copy pipeline slice.
+
+    Runs on its own :class:`~repro.iot.sessions.NetPipeline` (and thus
+    its own system), so the device's phase 1–3 numbers and RNG draws
+    are untouched by this phase's existence.  Returns flat integer
+    counters plus the per-packet latency sketch *state* — the block
+    :func:`repro.obs.pipeline.device_telemetry` folds fleet-wide.
+    """
+    from repro.iot.loadgen import NetLoadGen, drive
+    from repro.iot.sessions import NetPipeline
+
+    pipeline = NetPipeline(zero_copy=True)
+    conn_ids = range(1, _NET_SESSIONS + 1)
+    pipeline.establish_many(conn_ids)
+    gen = NetLoadGen(
+        conn_ids,
+        seed=spec.seed,
+        corrupt_rate=_NET_CORRUPT_RATE,
+        reorder_rate=_NET_REORDER_RATE,
+    )
+    drive(pipeline, gen, rounds=_NET_ROUNDS)
+    counters = pipeline.counters()
+    return {
+        "counters": {key: counters[key] for key in sorted(counters)},
+        "latency": pipeline.latency.summary(),
+        "latency_sketch": pipeline.latency.to_dict(),
+    }
+
+
 def run_device(spec: DeviceSpec) -> dict:
     """Run one device end to end; returns its deterministic sample."""
     rng = random.Random(spec.seed)
@@ -171,6 +216,9 @@ def run_device(spec: DeviceSpec) -> dict:
 
     total_cycles = core.cycles - start
 
+    # --- phase 4: network traffic (its own fresh system) --------------
+    net = _run_net_phase(spec)
+
     # --- the fault-campaign slice -------------------------------------
     campaign = run_campaign(total=spec.injections, seed=spec.seed)
     tally = campaign.tally()
@@ -196,6 +244,7 @@ def run_device(spec: DeviceSpec) -> dict:
             "sweep_cycles": sweep_cycles,
             "duty_cycle": round(sweep_cycles / total_cycles, 6),
         },
+        "net": net,
         "faults": {
             "injections": campaign.total,
             "outcomes": tally,

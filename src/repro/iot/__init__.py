@@ -1,10 +1,13 @@
 """The end-to-end compartmentalized IoT application (paper section 7.2.3)."""
 
 from .app import CLOCK_MHZ, TICK_MS, IoTApplication, IoTReport
+from .firewall import Firewall, FirewallStats
 from .jsvm import JavaScriptVM, VMError, VMStats, led_animation_bytecode
+from .loadgen import NetLoadGen, drive
 from .mqtt import MQTTClient, MQTTError, MQTTStats
 from .netstack import NetStats, NetworkStack
 from .packets import (
+    FRAME_HEADER_BYTES,
     CloudSource,
     FramingError,
     Message,
@@ -12,12 +15,25 @@ from .packets import (
     checksum16,
     frame,
     unframe,
+    validate_frame,
+)
+from .sessions import (
+    BoundedQueue,
+    NetPipeline,
+    NetPipelineStats,
+    SessionError,
+    SessionState,
+    session_key,
 )
 from .tls import TLSError, TLSSession, TLSStats
 
 __all__ = [
+    "BoundedQueue",
     "CLOCK_MHZ",
     "CloudSource",
+    "FRAME_HEADER_BYTES",
+    "Firewall",
+    "FirewallStats",
     "FramingError",
     "IoTApplication",
     "IoTReport",
@@ -26,9 +42,14 @@ __all__ = [
     "MQTTError",
     "MQTTStats",
     "Message",
+    "NetLoadGen",
+    "NetPipeline",
+    "NetPipelineStats",
     "NetStats",
     "NetworkStack",
     "Packet",
+    "SessionError",
+    "SessionState",
     "TICK_MS",
     "TLSError",
     "TLSSession",
@@ -36,7 +57,10 @@ __all__ = [
     "VMError",
     "VMStats",
     "checksum16",
+    "drive",
     "frame",
     "led_animation_bytecode",
+    "session_key",
     "unframe",
+    "validate_frame",
 ]

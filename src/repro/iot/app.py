@@ -23,10 +23,12 @@ from repro.allocator import TemporalSafetyMode
 from repro.capability import Capability, Permission
 from repro.machine import System
 from repro.pipeline import CoreKind
+from .firewall import Firewall
 from .jsvm import JavaScriptVM, led_animation_bytecode
 from .mqtt import MQTTClient, MQTTError
 from .netstack import NetworkStack
 from .packets import CloudSource, Message, Packet, frame
+from .sessions import NARROW_CYCLES
 from .tls import TLSError, TLSSession
 
 #: The paper's FPGA dev board clock.
@@ -68,8 +70,14 @@ class IoTApplication:
         mode: TemporalSafetyMode = TemporalSafetyMode.HARDWARE,
         clock_mhz: float = CLOCK_MHZ,
         quarantine_threshold: "int | None" = None,
+        zero_copy: bool = True,
     ) -> None:
         self.clock_mhz = clock_mhz
+        #: Receive discipline: zero-copy capability narrowing (default)
+        #: or the historical per-layer copying path.  Both produce
+        #: byte-identical application behaviour and drop accounting —
+        #: only the cycle costs differ (tests/iot pin the equivalence).
+        self.zero_copy = zero_copy
         # The application thread nests app -> tcpip -> tls -> mqtt plus
         # allocator calls, so it gets a deeper stack than the allocation
         # microbenchmark's ("a couple of KiBs" — section 5.2).
@@ -85,6 +93,7 @@ class IoTApplication:
         bus = self.system.bus
 
         # --- extra compartments (each from a different "vendor") -------
+        self.firewall_comp = loader.add_compartment("firewall")
         self.tcpip_comp = loader.add_compartment("tcpip")
         self.tls_comp = loader.add_compartment("tls")
         self.mqtt_comp = loader.add_compartment("mqtt")
@@ -117,22 +126,37 @@ class IoTApplication:
             return bus.read_word(address, 4)
 
         self.netstack = NetworkStack(malloc, free, write_buffer, read_buffer)
+        self.firewall = Firewall()
         #: Hostile/corrupt records rejected by TLS or MQTT parsing.
         self.dropped_records = 0
         self.tls = TLSSession(b"device-session-key-0001")
         self.mqtt = MQTTClient()
         self.vm = JavaScriptVM(malloc, free, write_field, read_field)
         self._read_buffer = read_buffer
+        self._write_buffer = write_buffer
+        self._malloc = malloc
+        self._free = free
 
         # --- compartment exports ---------------------------------------
+        # The copying chain (app -> tcpip -> tls -> mqtt) is the seed's;
+        # the zero-copy chain enters through the firewall and hands a
+        # narrowed view of the driver's buffer down the same topology.
+        self.firewall_comp.export("admit", self._firewall_admit)
         self.tcpip_comp.export("ingest", self._tcpip_ingest)
+        self.tcpip_comp.export("ingest_view", self._tcpip_ingest_view)
         self.tls_comp.export("process", self._tls_process)
+        self.tls_comp.export("process_view", self._tls_process_view)
         self.mqtt_comp.export("dispatch", self._mqtt_dispatch)
+        self.mqtt_comp.export("dispatch_view", self._mqtt_dispatch_view)
         self.jsvm_comp.export("tick", self._jsvm_tick)
 
+        loader.link("app", "firewall", "admit")
         loader.link("app", "tcpip", "ingest")
+        loader.link("firewall", "tcpip", "ingest_view")
         loader.link("tcpip", "tls", "process")
+        loader.link("tcpip", "tls", "process_view")
         loader.link("tls", "mqtt", "dispatch")
+        loader.link("tls", "mqtt", "dispatch_view")
         loader.link("app", "jsvm", "tick")
         loader.finalize()
 
@@ -148,6 +172,16 @@ class IoTApplication:
     # Compartment entry points (run under the switcher)
     # ------------------------------------------------------------------
 
+    def _firewall_admit(self, ctx, frame_cap: Capability, frame_len: int):
+        ctx.use_stack(96)
+        view, cycles = self.firewall.admit(frame_cap, frame_len)
+        self.system.core_model.charge(cycles)
+        if view is None:
+            self.netstack.stats.dropped_corrupt += 1
+            return 0
+        self.system.core_model.charge(NARROW_CYCLES)
+        return ctx.call("tcpip", "ingest_view", view, frame_len)
+
     def _tcpip_ingest(self, ctx, packet: Packet):
         ctx.use_stack(160)
         buffer_cap, length, cycles = self.netstack.receive(packet)
@@ -158,6 +192,17 @@ class IoTApplication:
             return ctx.call("tls", "process", buffer_cap, length, packet.sequence)
         finally:
             self.netstack.release(buffer_cap)
+
+    def _tcpip_ingest_view(self, ctx, frame_cap: Capability, frame_len: int):
+        ctx.use_stack(160)
+        view, length, sequence, cycles = self.netstack.receive_view(
+            frame_cap, frame_len
+        )
+        self.system.core_model.charge(cycles)
+        if view is None:
+            return 0
+        self.system.core_model.charge(NARROW_CYCLES)
+        return ctx.call("tls", "process_view", view, length, sequence)
 
     def _tls_process(self, ctx, buffer_cap: Capability, length: int, nonce: int):
         ctx.use_stack(192)
@@ -178,8 +223,42 @@ class IoTApplication:
             self.dropped_records += 1
             return 0
 
+    def _tls_process_view(self, ctx, record_view: Capability, length: int,
+                          nonce: int):
+        ctx.use_stack(192)
+        record = self._read_buffer(record_view, length)
+        try:
+            plaintext, cycles = self.tls.open_record(record, nonce)
+        except TLSError:
+            self.system.core_model.charge(600)
+            self.dropped_records += 1
+            return 0
+        # The per-byte charge covers the in-place transform (load, XOR,
+        # store back through the same capability); the plaintext view
+        # handed to MQTT is narrowed and read-only.
+        self.system.core_model.charge(cycles)
+        self._write_buffer(record_view, plaintext)
+        self.system.core_model.charge(NARROW_CYCLES)
+        plain_view = (
+            record_view.set_address(record_view.base)
+            .set_bounds(len(plaintext))
+            .readonly()
+        )
+        try:
+            return ctx.call("mqtt", "dispatch_view", plain_view, len(plaintext))
+        except MQTTError:
+            self.dropped_records += 1
+            return 0
+
     def _mqtt_dispatch(self, ctx, plaintext: bytes):
         ctx.use_stack(128)
+        handlers, cycles = self.mqtt.handle_record(plaintext)
+        self.system.core_model.charge(cycles)
+        return handlers
+
+    def _mqtt_dispatch_view(self, ctx, plain_view: Capability, length: int):
+        ctx.use_stack(128)
+        plaintext = self._read_buffer(plain_view, length)
         handlers, cycles = self.mqtt.handle_record(plaintext)
         self.system.core_model.charge(cycles)
         return handlers
@@ -205,8 +284,24 @@ class IoTApplication:
     # ------------------------------------------------------------------
 
     def _send(self, packet: Packet) -> None:
-        token = self.system.app.get_import("tcpip", "ingest")
-        self.system.switcher.call(self.system.main_thread, token, packet)
+        if not self.zero_copy:
+            token = self.system.app.get_import("tcpip", "ingest")
+            self.system.switcher.call(self.system.main_thread, token, packet)
+            return
+        # Zero-copy driver edge: one heap buffer per packet, DMA'd into
+        # directly (no CPU copy charge), then narrowed capability views
+        # all the way up — the buffer is freed only when the chain
+        # returns.
+        wire = packet.payload
+        frame_cap = self._malloc(max(8, len(wire)))
+        try:
+            self._write_buffer(frame_cap, wire)
+            token = self.system.app.get_import("firewall", "admit")
+            self.system.switcher.call(
+                self.system.main_thread, token, frame_cap, len(wire)
+            )
+        finally:
+            self._free(frame_cap)
 
     def _deliver(self, message: Message) -> None:
         """Cloud side: seal the message and put it on the wire.

@@ -2,9 +2,23 @@
 
 "Every network packet that is sent and received is a separate heap
 allocation, protected by temporal safety" (paper section 7.2.3).  The
-stand-in stack receives framed packets, copies each into a freshly
-``malloc``'d buffer through its capability, validates the frame, and
-hands the *capability* (not a raw address) up to TLS.
+stand-in stack supports both receive disciplines:
+
+* :meth:`NetworkStack.receive` — the original copying path: the frame
+  body is copied into a freshly ``malloc``'d buffer through its
+  capability (6 cycles/byte, the load+store pair, checksum folded into
+  the copy loop) and the *capability* is handed up to TLS.
+* :meth:`NetworkStack.receive_view` — the zero-copy path: the packet
+  already lives in one driver-edge heap allocation; the stack validates
+  the frame *in place* (2 cycles/byte, load+accumulate only) and hands
+  up a ``csetbounds``-narrowed view of the same buffer covering exactly
+  the body.  No layer after the driver ever copies or allocates.
+
+Drop accounting is disjoint by cause: ``dropped_corrupt`` (framing or
+checksum failures) and ``dropped_out_of_order`` (sequence mismatches)
+never overlap, so fleet telemetry can attribute losses; the historical
+``packets_dropped`` / ``out_of_order`` names survive as derived
+read-only properties.
 """
 
 from __future__ import annotations
@@ -13,25 +27,43 @@ from dataclasses import dataclass
 from typing import Callable, Optional, Tuple
 
 from repro.capability import Capability
-from .packets import FramingError, Packet, unframe
+from .packets import FramingError, Packet, validate_frame
 
 #: Per-packet protocol processing beyond the copy (header parse, TCP
 #: state machine update, ACK generation) in cycles.
 CYCLES_PER_PACKET = 1400
-#: Copy cost per byte into the heap buffer (load+store through caps).
+#: Copy cost per byte into the heap buffer (load+store through caps);
+#: the framing checksum is folded into the copy loop.
 CYCLES_PER_BYTE = 6
+#: In-place validation cost per byte (load+accumulate, no store) on the
+#: zero-copy path, which never re-materialises the body.
+CYCLES_PER_BYTE_VALIDATE = 2
 
 
 @dataclass
 class NetStats:
     packets_received: int = 0
-    packets_dropped: int = 0
     bytes_received: int = 0
-    out_of_order: int = 0
+    dropped_corrupt: int = 0
+    dropped_out_of_order: int = 0
+
+    @property
+    def packets_dropped(self) -> int:
+        """Derived total of all drops (historical table column)."""
+        return self.dropped_corrupt + self.dropped_out_of_order
+
+    @property
+    def out_of_order(self) -> int:
+        """Historical alias for the sequence-mismatch drop count."""
+        return self.dropped_out_of_order
 
 
 class NetworkStack:
-    """The TCP/IP compartment's receive path."""
+    """The TCP/IP compartment's receive path.
+
+    ``stats`` may be shared between per-session stacks so a scaled
+    pipeline aggregates one drop/byte tally across all its connections.
+    """
 
     def __init__(
         self,
@@ -39,16 +71,17 @@ class NetworkStack:
         free: Callable[[Capability], None],
         write_buffer: Callable[[Capability, bytes], None],
         read_buffer: Callable[[Capability, int], bytes],
+        stats: Optional[NetStats] = None,
     ) -> None:
         self._malloc = malloc
         self._free = free
         self._write_buffer = write_buffer
         self._read_buffer = read_buffer
-        self.stats = NetStats()
+        self.stats = stats if stats is not None else NetStats()
         self._expected_seq = 1
 
     def receive(self, packet: Packet) -> "Tuple[Optional[Capability], int, int]":
-        """Ingest one packet.
+        """Ingest one packet (copying path).
 
         Returns ``(buffer_capability, body_length, cycles)``; the buffer
         capability covers exactly the packet body, heap-allocated — the
@@ -58,20 +91,49 @@ class NetworkStack:
         """
         cycles = CYCLES_PER_PACKET + CYCLES_PER_BYTE * packet.size
         try:
-            sequence, body = unframe(packet.payload)
+            sequence, offset, length = validate_frame(packet.payload)
         except FramingError:
-            self.stats.packets_dropped += 1
+            self.stats.dropped_corrupt += 1
             return None, 0, cycles
         if sequence != self._expected_seq:
-            self.stats.out_of_order += 1
-            self.stats.packets_dropped += 1
+            self.stats.dropped_out_of_order += 1
             return None, 0, cycles
+        body = packet.payload[offset : offset + length]
         self._expected_seq = sequence + 1
         self.stats.packets_received += 1
-        self.stats.bytes_received += len(body)
-        buffer_cap = self._malloc(max(8, len(body)))
+        self.stats.bytes_received += length
+        buffer_cap = self._malloc(max(8, length))
         self._write_buffer(buffer_cap, body)
-        return buffer_cap, len(body), cycles
+        return buffer_cap, length, cycles
+
+    def receive_view(
+        self, frame_cap: Capability, frame_len: int
+    ) -> "Tuple[Optional[Capability], int, int, int]":
+        """Ingest one packet already resident in a heap buffer (zero-copy).
+
+        Validates the frame in place and returns
+        ``(record_view, record_length, sequence, cycles)`` where
+        ``record_view`` is the *same* buffer narrowed to exactly the
+        frame body — no allocation, no copy — and ``sequence`` is the
+        accepted wire sequence number (the TLS record nonce).  Returns
+        ``(None, 0, 0, cycles)`` for a dropped packet; the caller keeps
+        ownership of ``frame_cap`` either way.
+        """
+        cycles = CYCLES_PER_PACKET + CYCLES_PER_BYTE_VALIDATE * frame_len
+        data = self._read_buffer(frame_cap, frame_len)
+        try:
+            sequence, offset, length = validate_frame(data)
+        except FramingError:
+            self.stats.dropped_corrupt += 1
+            return None, 0, 0, cycles
+        if sequence != self._expected_seq:
+            self.stats.dropped_out_of_order += 1
+            return None, 0, 0, cycles
+        self._expected_seq = sequence + 1
+        self.stats.packets_received += 1
+        self.stats.bytes_received += length
+        view = frame_cap.set_address(frame_cap.base + offset).set_bounds(length)
+        return view, length, sequence, cycles
 
     def release(self, buffer_cap: Capability) -> None:
         """Return a packet buffer to the heap (quarantined, revoked)."""

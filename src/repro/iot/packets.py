@@ -49,23 +49,41 @@ def frame(sequence: int, body: bytes) -> bytes:
     return header + checksum16(header + body).to_bytes(2, "little") + body
 
 
+#: Bytes of on-wire header before the body: seq(2) len(2) csum(2).
+FRAME_HEADER_BYTES = 6
+
+
 class FramingError(Exception):
     """Corrupt packet (bad length or checksum)."""
 
 
-def unframe(data: bytes) -> Tuple[int, bytes]:
-    """Parse and verify a frame; returns (sequence, body)."""
-    if len(data) < 6:
+def validate_frame(data: bytes) -> Tuple[int, int, int]:
+    """Verify a frame without materialising its body.
+
+    Returns ``(sequence, body_offset, body_length)`` — enough for a
+    receiver to *narrow* a capability over the original buffer to the
+    body, instead of copying the body out.  Raises
+    :class:`FramingError` exactly where :func:`unframe` would.
+    """
+    if len(data) < FRAME_HEADER_BYTES:
         raise FramingError("short frame")
     sequence = int.from_bytes(data[0:2], "little")
     length = int.from_bytes(data[2:4], "little")
     received = int.from_bytes(data[4:6], "little")
-    body = data[6:]
-    if len(body) != length:
-        raise FramingError(f"length mismatch: header {length}, got {len(body)}")
-    if checksum16(data[0:4] + body) != received:
+    body_length = len(data) - FRAME_HEADER_BYTES
+    if body_length != length:
+        raise FramingError(
+            f"length mismatch: header {length}, got {body_length}"
+        )
+    if checksum16(data[0:4] + data[FRAME_HEADER_BYTES:]) != received:
         raise FramingError("checksum mismatch")
-    return sequence, body
+    return sequence, FRAME_HEADER_BYTES, length
+
+
+def unframe(data: bytes) -> Tuple[int, bytes]:
+    """Parse and verify a frame; returns (sequence, body)."""
+    sequence, offset, length = validate_frame(data)
+    return sequence, data[offset : offset + length]
 
 
 class CloudSource:

@@ -9,11 +9,23 @@ The "cipher" is a keyed rolling XOR plus a 16-bit MAC: cryptographically
 worthless, but it exercises the same code path (per-record key schedule,
 byte-wise transform, MAC check, error on tamper) and is charged
 per-byte cycles comparable to software AES on a small core.
+
+The *simulated* cycle charges are fixed by the constants below; the
+*host-speed* implementation underneath is free to be fast, and needs to
+be — a 2048-session benchmark sweep pushes hundreds of thousands of
+record bytes through this module.  ``_keystream`` runs a reduced-Python
+inner loop over a cached per-key add schedule (no modulo, no repeated
+attribute lookups), ``_mac16`` is table-driven (a 64K-entry ``*31``
+multiply table plus one big-int XOR for the key mix), and record
+seal/open XOR whole buffers as big integers instead of byte-by-byte
+generator expressions.  ``tests/iot/test_tls_fast.py`` pins all three
+against straightforward reference implementations byte for byte.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 #: Cycles per payload byte for decrypt+MAC in software on an MCU-class
 #: core (software AES-128-GCM lands at tens of cycles per byte).
@@ -24,26 +36,84 @@ CYCLES_PER_RECORD = 900
 #: ECDHE handshake on a 20 MHz MCU takes on the order of a second).
 HANDSHAKE_CYCLES = 80_000_000
 
+_M32 = 0xFFFFFFFF
+_MUL = 1103515245
+
+#: Per-key caches for the host-speed fast paths.  Both are pure
+#: functions of the key bytes, so caching cannot perturb determinism.
+_KEY_ADDS: Dict[bytes, Tuple[int, ...]] = {}
+_KEY_REPEAT: Dict[bytes, bytes] = {}
+
+#: Lazily built ``(t * 31) & 0xFFFF`` table for the MAC inner loop.
+_T31: List[int] = []
+
 
 class TLSError(Exception):
     """Record authentication failure."""
 
 
+def _key_adds(key: bytes, length: int) -> Tuple[int, ...]:
+    """The keystream add schedule ``12345 + key[i % len]``, pre-tiled
+    to at least ``length`` entries so the inner loop indexes directly."""
+    adds = _KEY_ADDS.get(key)
+    if adds is None or len(adds) < length:
+        base = tuple(12345 + byte for byte in key)
+        repeats = -(-max(length, len(base)) // len(base))
+        adds = base * repeats
+        _KEY_ADDS[key] = adds
+    return adds
+
+
+def _key_repeat(key: bytes, length: int) -> bytes:
+    """``key`` tiled to at least ``length`` bytes (for the MAC mix)."""
+    tiled = _KEY_REPEAT.get(key, b"")
+    if len(tiled) < length:
+        tiled = key * (-(-max(length, len(key)) // len(key)))
+        _KEY_REPEAT[key] = tiled
+    return tiled
+
+
 def _keystream(key: bytes, length: int, nonce: int) -> bytes:
     """A keyed rolling byte stream (stand-in key schedule)."""
     out = bytearray(length)
-    state = (nonce * 2654435761) & 0xFFFFFFFF
-    for index in range(length):
-        state = (state * 1103515245 + 12345 + key[index % len(key)]) & 0xFFFFFFFF
+    state = (nonce * 2654435761) & _M32
+    adds = _key_adds(key, length)
+    if len(adds) > length:
+        adds = adds[:length]
+    index = 0
+    for add in adds:
+        state = (state * _MUL + add) & _M32
         out[index] = (state >> 16) & 0xFF
+        index += 1
     return bytes(out)
 
 
 def _mac16(key: bytes, data: bytes) -> int:
+    if not _T31:
+        _T31.extend((value * 31) & 0xFFFF for value in range(0x10000))
+    length = len(data)
+    if length:
+        # byte ^ key[i % len] for the whole buffer in one big-int XOR.
+        mixed = (
+            int.from_bytes(data, "little")
+            ^ int.from_bytes(_key_repeat(key, length)[:length], "little")
+        ).to_bytes(length, "little")
+    else:
+        mixed = b""
+    table = _T31
     total = 0x5A5A
-    for index, byte in enumerate(data):
-        total = ((total * 31) ^ byte ^ key[index % len(key)]) & 0xFFFF
+    for byte in mixed:
+        total = table[total] ^ byte
     return total
+
+
+def _xor_bytes(data: bytes, stream: bytes) -> bytes:
+    """``bytes(a ^ b ...)`` at big-int speed (inputs are equal length)."""
+    if not data:
+        return b""
+    return (
+        int.from_bytes(data, "little") ^ int.from_bytes(stream, "little")
+    ).to_bytes(len(data), "little")
 
 
 @dataclass
@@ -79,7 +149,7 @@ class TLSSession:
         """Encrypt+MAC one record; returns (record, cycles)."""
         self._require_established()
         stream = _keystream(self._key, len(plaintext), nonce)
-        body = bytes(p ^ s for p, s in zip(plaintext, stream))
+        body = _xor_bytes(plaintext, stream)
         record = body + _mac16(self._key, body).to_bytes(2, "little")
         self.stats.records_encrypted += 1
         self.stats.bytes_processed += len(plaintext)
@@ -89,6 +159,9 @@ class TLSSession:
         """MAC-check and decrypt one record; returns (plaintext, cycles).
 
         Raises :class:`TLSError` on a MAC mismatch (tampered record).
+        The cycle charge covers the full in-place transform — load,
+        XOR, store back through the same capability — so a zero-copy
+        caller that decrypts into the record buffer adds nothing.
         """
         self._require_established()
         if len(record) < 2:
@@ -98,7 +171,7 @@ class TLSSession:
             self.stats.mac_failures += 1
             raise TLSError("record MAC mismatch")
         stream = _keystream(self._key, len(body), nonce)
-        plaintext = bytes(c ^ s for c, s in zip(body, stream))
+        plaintext = _xor_bytes(body, stream)
         self.stats.records_decrypted += 1
         self.stats.bytes_processed += len(body)
         return plaintext, CYCLES_PER_RECORD + CYCLES_PER_BYTE * len(body)

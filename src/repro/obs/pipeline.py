@@ -57,6 +57,11 @@ AGGREGATE_SCHEMA = 1
 #: into; the SLO engine's latency-quantile rules query it.
 LATENCY_SKETCH = "latency_cycles"
 
+#: The sketch the device's network-traffic phase feeds per-packet
+#: pipeline latencies (driver edge to application dispatch) into; the
+#: SLO engine's net-packet-latency-quantile rule queries it.
+NET_SKETCH = "net_packet_cycles"
+
 
 class PipelineError(Exception):
     """Telemetry that cannot be folded."""
@@ -95,13 +100,23 @@ def device_telemetry(sample: dict) -> dict:
 
     sketch = QuantileSketch()
     sketch.observe_many(sample.get("latency_samples", ()))
+    sketches = {LATENCY_SKETCH: sketch.to_dict()}
+
+    net = sample.get("net")
+    if net is not None:
+        # The net-traffic phase ships flat counters plus an already-
+        # folded latency sketch (never raw samples) — both merge with
+        # the same fleet-fold algebra as everything else.
+        for key in sorted(net["counters"]):
+            counters[f"net.{key}"] = net["counters"][key]
+        sketches[NET_SKETCH] = net["latency_sketch"]
 
     return {
         "counters": counters,
         "floors": {
             "calls_per_kcycle": sample["throughput"]["calls_per_kcycle"],
         },
-        "sketches": {LATENCY_SKETCH: sketch.to_dict()},
+        "sketches": sketches,
     }
 
 
@@ -273,6 +288,10 @@ def fleet_rollup(plan, shard_results: Dict[int, dict], degraded=None) -> dict:
         LATENCY_SKETCH, QuantileSketch().to_dict()
     )
     sketch = QuantileSketch.from_dict(sketch_dict)
+    net_sketch_dict = telemetry["sketches"].get(
+        NET_SKETCH, QuantileSketch().to_dict()
+    )
+    net_sketch = QuantileSketch.from_dict(net_sketch_dict)
 
     return {
         "schema": AGGREGATE_SCHEMA,
@@ -288,6 +307,8 @@ def fleet_rollup(plan, shard_results: Dict[int, dict], degraded=None) -> dict:
         },
         "latency_sketch": sketch.summary(),
         "sketch": sketch_dict,
+        "net_latency": net_sketch.summary(),
+        "net_sketch": net_sketch_dict,
         "derived": {
             "calls_per_kcycle": (
                 round(calls * 1000 / call_cycles, 4) if call_cycles else 0.0

@@ -87,6 +87,23 @@ def _eval_latency_quantile(aggregate: dict, rule: dict) -> dict:
     return _verdict(rule, observed, bound, observed <= bound)
 
 
+def _eval_net_packet_latency_quantile(aggregate: dict, rule: dict) -> dict:
+    q = rule.get("q")
+    bound = rule.get("max_cycles")
+    if not isinstance(q, (int, float)) or not 0.0 <= q <= 1.0:
+        return _fail(rule, None, bound, f"q {q!r} outside [0, 1]")
+    if not isinstance(bound, (int, float)):
+        return _fail(rule, None, bound, "missing max_cycles bound")
+    sketch_dict = aggregate.get("net_sketch")
+    if sketch_dict is None:
+        return _fail(rule, None, bound, "aggregate carries no net sketch")
+    sketch = QuantileSketch.from_dict(sketch_dict)
+    if sketch.count == 0:
+        return _fail(rule, None, bound, "net sketch is empty")
+    observed = sketch.quantile(float(q))
+    return _verdict(rule, observed, bound, observed <= bound)
+
+
 def _eval_revocation_duty_cycle(aggregate: dict, rule: dict) -> dict:
     bound = rule.get("max")
     if not isinstance(bound, (int, float)):
@@ -123,6 +140,7 @@ def _eval_degraded_ceiling(aggregate: dict, rule: dict) -> dict:
 
 _RULES: Dict[str, Callable[[dict, dict], dict]] = {
     "latency-quantile": _eval_latency_quantile,
+    "net-packet-latency-quantile": _eval_net_packet_latency_quantile,
     "revocation-duty-cycle": _eval_revocation_duty_cycle,
     "fault-escapes": _eval_fault_escapes,
     "throughput-floor": _eval_throughput_floor,

@@ -12,13 +12,17 @@ from repro.obs.slo import (
 )
 
 
-def _aggregate(escaped=0, duty=0.85, floor=2.0, degraded=0.0, latencies=(450, 500, 550)):
+def _aggregate(escaped=0, duty=0.85, floor=2.0, degraded=0.0,
+               latencies=(450, 500, 550), net_latencies=(90_000, 110_000)):
     sketch = QuantileSketch()
     sketch.observe_many(latencies)
+    net_sketch = QuantileSketch()
+    net_sketch.observe_many(net_latencies)
     return {
         "counters": {"faults.escaped": escaped},
         "floors": {"calls_per_kcycle": floor},
         "sketch": sketch.to_dict(),
+        "net_sketch": net_sketch.to_dict(),
         "derived": {
             "revocation_duty_cycle": duty,
             "degraded_fraction": degraded,
@@ -75,6 +79,35 @@ class TestRules:
 
     def test_missing_bound_fails_not_crashes(self):
         assert not _one(_aggregate(), {"rule": "fault-escapes"})["ok"]
+
+    def test_net_packet_latency_quantile_both_ways(self):
+        ok = _one(_aggregate(), {"rule": "net-packet-latency-quantile",
+                                 "q": 0.99, "max_cycles": 200_000})
+        assert ok["ok"] and ok["observed"] <= 200_000
+        bad = _one(_aggregate(), {"rule": "net-packet-latency-quantile",
+                                  "q": 0.99, "max_cycles": 10_000})
+        assert not bad["ok"]
+
+    def test_net_packet_latency_validates_params(self):
+        bad = _one(_aggregate(), {"rule": "net-packet-latency-quantile",
+                                  "q": 2.0, "max_cycles": 100})
+        assert not bad["ok"] and "outside" in bad["detail"]
+        bad = _one(_aggregate(), {"rule": "net-packet-latency-quantile",
+                                  "q": 0.5})
+        assert not bad["ok"]
+
+    def test_net_packet_latency_fails_closed_without_sketch(self):
+        aggregate = _aggregate()
+        del aggregate["net_sketch"]
+        bad = _one(aggregate, {"rule": "net-packet-latency-quantile",
+                               "q": 0.99, "max_cycles": 200_000})
+        assert not bad["ok"] and "no net sketch" in bad["detail"]
+
+    def test_net_packet_latency_fails_closed_on_empty_sketch(self):
+        bad = _one(_aggregate(net_latencies=()),
+                   {"rule": "net-packet-latency-quantile",
+                    "q": 0.99, "max_cycles": 200_000})
+        assert not bad["ok"] and "empty" in bad["detail"]
 
 
 class TestFailClosed:

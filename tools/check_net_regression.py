@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""CI gate: ``BENCH_net.json`` must reproduce, and zero-copy must win.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python tools/check_net_regression.py [--jobs N]
+
+Re-runs the committed document's recorded sweep (connection counts and
+rounds come from its ``config`` block, so an intentionally changed
+sweep still gates itself) and compares the rendered bytes — the
+serial/parallel/any-``--jobs`` byte-identity contract in one assert.
+
+On top of reproducibility, the gate enforces the performance claim the
+sweep exists to defend: at every point with **1024 or more concurrent
+sessions**, the copying baseline's per-packet stack cycles (cipher
+work excluded — it is byte-identical in both disciplines) must be at
+least :data:`MIN_STACK_RATIO` times the zero-copy path's.  A committed
+baseline that no longer shows the win is a regression even if it
+reproduces perfectly.
+
+Exit status 1 on drift or a violated ratio, 2 on an unusable baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from _baseline import BaselineError, first_divergence, load_baseline  # noqa: E402
+from net_bench import (  # noqa: E402
+    NET_BENCH_VERSION,
+    NetBenchError,
+    build_document,
+    render_document,
+)
+
+REGEN_HINT = "make net  (PYTHONPATH=src python tools/net_bench.py)"
+
+#: The acceptance floor: copying must cost at least this many times the
+#: zero-copy stack cycles per packet at scale.
+MIN_STACK_RATIO = 2.0
+
+#: "At scale" means at least this many concurrent sessions.
+SCALE_CONNECTIONS = 1024
+
+
+def check_ratios(doc: dict) -> "list[str]":
+    """Violations of the at-scale speedup claim in one document."""
+    problems = []
+    at_scale = [
+        row for row in doc.get("comparison", [])
+        if row["connections"] >= SCALE_CONNECTIONS
+    ]
+    if not at_scale:
+        problems.append(
+            f"sweep has no point with >= {SCALE_CONNECTIONS} connections; "
+            "the at-scale claim is unverifiable"
+        )
+    for row in at_scale:
+        if row["stack_cycles_ratio"] < MIN_STACK_RATIO:
+            problems.append(
+                f"at {row['connections']} connections the copy/zero-copy "
+                f"stack-cycle ratio is {row['stack_cycles_ratio']} "
+                f"(floor: {MIN_STACK_RATIO})"
+            )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", default="BENCH_net.json")
+    parser.add_argument(
+        "-j", "--jobs", type=int, default=1,
+        help="worker processes for the rebuild (bytes must not change)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = load_baseline(args.baseline, hint=REGEN_HINT)
+    except BaselineError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
+    if baseline.get("version") != NET_BENCH_VERSION:
+        print(
+            f"baseline schema version {baseline.get('version')} != "
+            f"{NET_BENCH_VERSION}; regenerate with: {REGEN_HINT}",
+            file=sys.stderr,
+        )
+        return 2
+    config = baseline.get("config", {})
+    conns = config.get("connections")
+    rounds_map = config.get("rounds")
+    if not isinstance(conns, list) or not isinstance(rounds_map, dict):
+        print("baseline config block unreadable", file=sys.stderr)
+        return 2
+
+    failed = False
+    for problem in check_ratios(baseline):
+        print(f"baseline violates the claim: {problem}", file=sys.stderr)
+        failed = True
+
+    print(
+        f"  re-running net sweep: connections {conns}, "
+        f"jobs {max(1, args.jobs)}"
+    )
+    try:
+        fresh = build_document(
+            conns=tuple(conns),
+            rounds={int(key): rounds_map[key] for key in sorted(rounds_map)},
+            jobs=args.jobs,
+        )
+    except NetBenchError as exc:
+        print(f"rebuild failed its self-check: {exc}", file=sys.stderr)
+        return 1
+
+    if render_document(fresh) != render_document(baseline):
+        where = first_divergence(baseline, fresh) or "(byte-level only)"
+        print(f"net benchmark drifted at: {where}", file=sys.stderr)
+        print(
+            f"if the change is intentional, refresh with: {REGEN_HINT}",
+            file=sys.stderr,
+        )
+        failed = True
+
+    if failed:
+        print("net-stack regression detected", file=sys.stderr)
+        return 1
+    print(
+        "net benchmark reproduces byte-identically; zero-copy wins "
+        f">= {MIN_STACK_RATIO}x at >= {SCALE_CONNECTIONS} sessions"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -56,6 +56,12 @@ DETERMINISTIC_PATHS = [
     "src/repro/fleet/plan.py",
     "src/repro/fleet/shard.py",
     "src/repro/faultinject/*.py",
+    "src/repro/iot/firewall.py",
+    "src/repro/iot/loadgen.py",
+    "src/repro/iot/netstack.py",
+    "src/repro/iot/packets.py",
+    "src/repro/iot/sessions.py",
+    "src/repro/iot/tls.py",
     "src/repro/obs/export.py",
     "src/repro/obs/pipeline.py",
     "src/repro/obs/profile.py",
@@ -68,8 +74,10 @@ DETERMINISTIC_PATHS = [
     "tools/capaudit.py",
     "tools/check_fault_regression.py",
     "tools/check_fleet_regression.py",
+    "tools/check_net_regression.py",
     "tools/check_slo.py",
     "tools/fault_campaign.py",
+    "tools/net_bench.py",
     "tools/run_benchmarks.py",
 ]
 
